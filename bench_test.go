@@ -1,0 +1,183 @@
+package ipcp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/core/lattice"
+	"ipcp/internal/report"
+	"ipcp/internal/suite"
+)
+
+// The benchmarks below regenerate every exhibit in the paper's
+// evaluation section; `go test -bench .` is the full harness. Each
+// BenchmarkTableN measures the cost of producing that table and, on the
+// first iteration, prints it — so the benchmark run doubles as the
+// results run recorded in EXPERIMENTS.md.
+
+func loadSuite(b *testing.B) []*report.Loaded {
+	b.Helper()
+	var ls []*report.Loaded
+	for _, p := range suite.Programs() {
+		prog, err := ipcp.Load(p.Source)
+		if err != nil {
+			b.Fatalf("%s: %v", p.Name, err)
+		}
+		ls = append(ls, report.NewLoaded(p, prog))
+	}
+	return ls
+}
+
+// BenchmarkFigure1 measures the lattice meet operation Figure 1 defines
+// — the innermost step of the whole framework.
+func BenchmarkFigure1LatticeMeet(b *testing.B) {
+	vals := []lattice.Value{
+		lattice.Top, lattice.Bottom,
+		lattice.OfInt(1), lattice.OfInt(2), lattice.OfBool(true),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := lattice.Top
+		for _, w := range vals {
+			v = lattice.Meet(v, w)
+		}
+		if !v.IsBottom() {
+			b.Fatal("meet of conflicting constants must be bottom")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the program-characteristics table.
+func BenchmarkTable1(b *testing.B) {
+	progs := loadSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table1(progs).Render()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.Logf("\n%s", out)
+	}
+}
+
+// BenchmarkTable2 regenerates the jump-function comparison (six
+// analysis configurations over twelve programs).
+func BenchmarkTable2(b *testing.B) {
+	progs := loadSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table2(progs).Render()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.Logf("\n%s", out)
+	}
+}
+
+// BenchmarkTable3 regenerates the MOD / complete-propagation /
+// intraprocedural comparison.
+func BenchmarkTable3(b *testing.B) {
+	progs := loadSuite(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.Table3(progs).Render()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.Logf("\n%s", out)
+	}
+}
+
+// BenchmarkJumpFunction measures one full analysis of the entire suite
+// per flavor: the §3.1.5 compile-time comparison. The paper predicts the
+// literal flavor is cheapest to construct, the polynomial most
+// expensive, with pass-through close to the simpler ones in practice.
+func BenchmarkJumpFunction(b *testing.B) {
+	progs := loadSuite(b)
+	for _, flavor := range ipcp.JumpFunctions {
+		b.Run(flavor.String(), func(b *testing.B) {
+			cfg := ipcp.Config{Jump: flavor, ReturnJumpFunctions: true, MOD: true}
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, l := range progs {
+					total += l.Prog().Analyze(cfg).TotalSubstituted
+				}
+			}
+			if total == 0 {
+				b.Fatal("no constants found")
+			}
+		})
+	}
+}
+
+// BenchmarkConfiguration measures the other axes of the study: return
+// jump functions, MOD, and complete propagation.
+func BenchmarkConfiguration(b *testing.B) {
+	progs := loadSuite(b)
+	cfgs := []struct {
+		name string
+		cfg  ipcp.Config
+	}{
+		{"baseline", ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}},
+		{"no-return-jfs", ipcp.Config{Jump: ipcp.PassThrough, MOD: true}},
+		{"no-mod", ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true}},
+		{"complete", ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, Complete: true}},
+		{"dependence-solver", ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true}},
+	}
+	for _, c := range cfgs {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, l := range progs {
+					l.Prog().Analyze(c.cfg)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIntraproceduralBaseline measures Table 3's column 4.
+func BenchmarkIntraproceduralBaseline(b *testing.B) {
+	progs := loadSuite(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, l := range progs {
+			l.Prog().AnalyzeIntraprocedural()
+		}
+	}
+}
+
+// BenchmarkScale measures how analysis time grows with program size
+// (the ocean generator scales linearly in procedures and call sites).
+func BenchmarkScale(b *testing.B) {
+	for _, scale := range []int{1, 2, 4, 8, 16} {
+		p := suite.Generate("ocean", scale)
+		prog, err := ipcp.Load(p.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := prog.Stats()
+		b.Run(fmt.Sprintf("scale%d-lines%d", scale, st.Lines), func(b *testing.B) {
+			cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog.Analyze(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkLoad measures the front end (lex, parse, sema) alone.
+func BenchmarkLoad(b *testing.B) {
+	src := suite.Generate("snasa7", suite.DefaultScale).Source
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ipcp.Load(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

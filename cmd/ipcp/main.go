@@ -1,0 +1,181 @@
+// Command ipcp analyzes a MiniFortran program with the interprocedural
+// constant propagation framework of Grove & Torczon (PLDI 1993) and
+// reports the CONSTANTS sets and substitution counts.
+//
+// Usage:
+//
+//	ipcp [flags] file.f
+//	ipcp [flags] -suite ocean          # analyze a generated suite program
+//
+// Flags select the configuration (one column of the paper's tables):
+//
+//	-jump literal|intra|passthrough|polynomial   forward jump function
+//	-noret      disable return jump functions
+//	-nomod      disable interprocedural MOD information
+//	-complete   iterate propagation with dead-code elimination
+//	-all        run all four flavors and print a comparison
+//	-constants  list every CONSTANTS(p) entry
+//	-stats      print program characteristics (Table 1 row)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+var jumpNames = map[string]ipcp.JumpFunction{
+	"literal":     ipcp.Literal,
+	"intra":       ipcp.Intraprocedural,
+	"passthrough": ipcp.PassThrough,
+	"polynomial":  ipcp.Polynomial,
+}
+
+func main() {
+	jumpFlag := flag.String("jump", "passthrough", "forward jump function: literal, intra, passthrough, polynomial")
+	noRet := flag.Bool("noret", false, "disable return jump functions")
+	noMod := flag.Bool("nomod", false, "disable interprocedural MOD information")
+	complete := flag.Bool("complete", false, "iterate propagation with dead-code elimination")
+	all := flag.Bool("all", false, "compare all four jump-function flavors")
+	cloneFlag := flag.Bool("clone", false, "apply goal-directed procedure cloning and report the gain")
+	listConstants := flag.Bool("constants", false, "list every CONSTANTS(p) entry")
+	emit := flag.Bool("emit", false, "print the transformed source with constants substituted")
+	verify := flag.Bool("verify", false, "execute the program and check every reported constant against observed runtime values")
+	stats := flag.Bool("stats", false, "print program characteristics")
+	suiteName := flag.String("suite", "", "analyze a generated benchmark program instead of a file")
+	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
+	flag.Parse()
+
+	prog, name, err := load(*suiteName, *scale, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcp:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		st := prog.Stats()
+		fmt.Printf("%s: %d lines, %d procedures, %d call sites, %.1f mean / %.1f median lines per procedure\n",
+			name, st.Lines, st.Procedures, st.CallSites, st.MeanLinesPerProc, st.MedianLinesPerProc)
+	}
+
+	if *all {
+		fmt.Printf("%-16s  %12s  %10s\n", "jump function", "substituted", "constants")
+		for _, j := range ipcp.JumpFunctions {
+			rep := prog.Analyze(ipcp.Config{
+				Jump:                j,
+				ReturnJumpFunctions: !*noRet,
+				MOD:                 !*noMod,
+				Complete:            *complete,
+			})
+			fmt.Printf("%-16s  %12d  %10d\n", j, rep.TotalSubstituted, rep.TotalConstants)
+		}
+		return
+	}
+
+	j, ok := jumpNames[strings.ToLower(*jumpFlag)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ipcp: unknown jump function %q\n", *jumpFlag)
+		os.Exit(2)
+	}
+	if *cloneFlag {
+		out := prog.AnalyzeWithCloning(ipcp.Config{
+			Jump:                j,
+			ReturnJumpFunctions: !*noRet,
+			MOD:                 !*noMod,
+		}, ipcp.CloneOptions{})
+		fmt.Printf("%s: goal-directed cloning with %s jump functions\n", name, j)
+		fmt.Printf("  before: %d constants, %d references\n",
+			out.Base.TotalConstants, out.Base.TotalSubstituted)
+		fmt.Printf("  after:  %d constants, %d references (%d clones in %d rounds)\n",
+			out.Final.TotalConstants, out.Final.TotalSubstituted, out.TotalClones, out.Rounds)
+		return
+	}
+	rep := prog.Analyze(ipcp.Config{
+		Jump:                j,
+		ReturnJumpFunctions: !*noRet,
+		MOD:                 !*noMod,
+		Complete:            *complete,
+	})
+	fmt.Printf("%s: %s jump functions", name, j)
+	if *noRet {
+		fmt.Print(", no return JFs")
+	}
+	if *noMod {
+		fmt.Print(", no MOD")
+	}
+	if *complete {
+		fmt.Printf(", complete propagation (%d DCE rounds)", rep.DCERounds)
+	}
+	fmt.Println()
+	fmt.Printf("  interprocedural constants: %d\n", rep.TotalConstants)
+	fmt.Printf("  references substituted:    %d\n", rep.TotalSubstituted)
+	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
+		rep.SolverPasses, rep.JFEvaluations)
+
+	if *emit {
+		src, n, err := prog.TransformedSource(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("! transformed source: %d references substituted\n%s", n, src)
+	}
+
+	if *verify {
+		if verifyAgainstExecution(prog, rep) {
+			fmt.Println("  verification: every constant matches observed execution")
+		} else {
+			os.Exit(1)
+		}
+	}
+
+	if *listConstants {
+		for _, p := range rep.Procedures {
+			if len(p.Constants) == 0 {
+				continue
+			}
+			fmt.Printf("  CONSTANTS(%s):  [%d references substituted]\n", p.Name, p.Substituted)
+			for _, c := range p.Constants {
+				kind := "parameter"
+				if c.Global {
+					kind = "global"
+				}
+				fmt.Printf("    %-12s = %-8d (%s)\n", c.Name, c.Value, kind)
+			}
+		}
+	}
+}
+
+func load(suiteName string, scale int, args []string) (*ipcp.Program, string, error) {
+	if suiteName != "" {
+		p := suite.Generate(suiteName, scale)
+		if p == nil {
+			return nil, "", fmt.Errorf("unknown suite program %q (have: %s)",
+				suiteName, strings.Join(suite.Names(), ", "))
+		}
+		prog, err := ipcp.Load(p.Source)
+		return prog, suiteName, err
+	}
+	if len(args) != 1 {
+		return nil, "", fmt.Errorf("usage: ipcp [flags] file.f (or -suite name)")
+	}
+	prog, err := ipcp.LoadFile(args[0])
+	return prog, args[0], err
+}
+
+// verifyAgainstExecution runs the differential oracle over three input
+// seeds and reports any constant execution contradicts.
+func verifyAgainstExecution(prog *ipcp.Program, rep *ipcp.Report) bool {
+	ok := true
+	for seed := int64(0); seed < 3; seed++ {
+		for _, v := range prog.VerifyConstants(rep, ipcp.ExecOptions{InputSeed: seed, Fuel: 50_000_000}) {
+			fmt.Fprintf(os.Stderr, "  VIOLATION (seed %d): %s\n", seed, v)
+			ok = false
+		}
+	}
+	return ok
+}

@@ -1,0 +1,160 @@
+// Command mfc is the MiniFortran front-end driver: it parses, checks,
+// and lowers a program, and dumps the requested intermediate form. It is
+// the debugging companion to cmd/ipcp.
+//
+// Usage:
+//
+//	mfc -dump ast file.f       # pretty-printed source (round-trip)
+//	mfc -dump ir file.f        # three-address IR before SSA
+//	mfc -dump ssa file.f       # IR in SSA form (MOD-based call effects)
+//	mfc -dump callgraph file.f # call graph with SCCs
+//	mfc -dump modref file.f    # interprocedural MOD/REF summaries
+//	mfc -dump dot file.f       # call graph in Graphviz dot form
+//	mfc -suite ocean -dump ssa # dump a generated suite program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/ast"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+func main() {
+	dump := flag.String("dump", "ssa", "what to print: ast, ir, ssa, callgraph, modref")
+	suiteName := flag.String("suite", "", "dump a generated benchmark program instead of a file")
+	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
+	flag.Parse()
+
+	src, err := source(*suiteName, *scale, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+
+	file, err := parser.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+	if *dump == "ast" {
+		fmt.Print(ast.Format(file))
+		return
+	}
+	sp, err := sema.Analyze(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfc:", err)
+		os.Exit(1)
+	}
+	prog := irbuild.Build(sp)
+
+	switch *dump {
+	case "ir":
+		for _, p := range prog.Procs {
+			fmt.Println(p)
+		}
+	case "ssa":
+		cg := callgraph.Build(prog)
+		mods := modref.Compute(prog, cg)
+		for _, p := range prog.Procs {
+			p.BuildSSA(mods.Oracle())
+			fmt.Println(p)
+		}
+	case "callgraph":
+		cg := callgraph.Build(prog)
+		for _, n := range cg.TopDown() {
+			callees := make([]string, len(n.Callees))
+			for i, m := range n.Callees {
+				callees[i] = m.Proc.Name
+			}
+			cycle := ""
+			if cg.InCycle(n) {
+				cycle = "  (recursive)"
+			}
+			fmt.Printf("%-12s scc=%d sites=%d -> [%s]%s\n",
+				n.Proc.Name, n.SCC, len(n.Sites), strings.Join(callees, " "), cycle)
+		}
+	case "dot":
+		// Graphviz rendering of the call graph:
+		//   mfc -dump dot prog.f | dot -Tsvg > callgraph.svg
+		cg := callgraph.Build(prog)
+		fmt.Println("digraph callgraph {")
+		fmt.Println("  node [shape=box, fontname=\"monospace\"];")
+		for _, n := range cg.TopDown() {
+			shape := ""
+			if n.Proc.Kind == ir.MainProc {
+				shape = " [style=bold]"
+			}
+			if cg.InCycle(n) {
+				shape = " [style=dashed]"
+			}
+			fmt.Printf("  %s%s;\n", n.Proc.Name, shape)
+			seen := map[string]int{}
+			for _, site := range n.Sites {
+				seen[site.Callee.Name]++
+			}
+			for callee, count := range seen {
+				label := ""
+				if count > 1 {
+					label = fmt.Sprintf(" [label=\"×%d\"]", count)
+				}
+				fmt.Printf("  %s -> %s%s;\n", n.Proc.Name, callee, label)
+			}
+		}
+		fmt.Println("}")
+	case "modref":
+		cg := callgraph.Build(prog)
+		mods := modref.Compute(prog, cg)
+		for _, p := range prog.Procs {
+			var mf, rf []string
+			for i, f := range p.Formals {
+				if mods.ModFormal(p, i) {
+					mf = append(mf, f.Name)
+				}
+				if mods.RefFormal(p, i) {
+					rf = append(rf, f.Name)
+				}
+			}
+			for _, g := range prog.Globals {
+				if mods.ModGlobal(p, g) {
+					mf = append(mf, g.String())
+				}
+				if mods.RefGlobal(p, g) {
+					rf = append(rf, g.String())
+				}
+			}
+			fmt.Printf("%-12s MOD={%s}  REF={%s}\n",
+				p.Name, strings.Join(mf, " "), strings.Join(rf, " "))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mfc: unknown dump kind %q\n", *dump)
+		os.Exit(2)
+	}
+}
+
+func source(suiteName string, scale int, args []string) (string, error) {
+	if suiteName != "" {
+		p := suite.Generate(suiteName, scale)
+		if p == nil {
+			return "", fmt.Errorf("unknown suite program %q", suiteName)
+		}
+		return p.Source, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: mfc [flags] file.f (or -suite name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -1,0 +1,97 @@
+// Command tables regenerates the paper's exhibits (Figure 1 and
+// Tables 1–3 of Grove & Torczon, PLDI 1993) over the synthetic
+// benchmark suite.
+//
+// Usage:
+//
+//	tables              # everything
+//	tables -figure1     # just the lattice figure
+//	tables -table1      # program characteristics
+//	tables -table2      # constants per jump-function flavor
+//	tables -table3      # MOD / complete / intraprocedural comparison
+//	tables -scale 8     # regenerate the suite at a different scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipcp"
+	"ipcp/internal/report"
+	"ipcp/internal/suite"
+)
+
+func main() {
+	fig1 := flag.Bool("figure1", false, "print Figure 1 (the lattice) only")
+	t1 := flag.Bool("table1", false, "print Table 1 only")
+	t2 := flag.Bool("table2", false, "print Table 2 only")
+	t3 := flag.Bool("table3", false, "print Table 3 only")
+	cloning := flag.Bool("cloning", false, "print the procedure-cloning extension table only")
+	integration := flag.Bool("integration", false, "print the procedure-integration extension table only")
+	scale := flag.Int("scale", suite.DefaultScale, "suite generation scale")
+	flag.Parse()
+
+	if *fig1 {
+		fmt.Print(report.Figure1())
+		return
+	}
+
+	progs := loadSuite(*scale)
+	any := false
+	if *t1 {
+		fmt.Print(report.Table1(progs).Render())
+		any = true
+	}
+	if *t2 {
+		if any {
+			fmt.Println()
+		}
+		fmt.Print(report.Table2(progs).Render())
+		any = true
+	}
+	if *t3 {
+		if any {
+			fmt.Println()
+		}
+		fmt.Print(report.Table3(progs).Render())
+		any = true
+	}
+	if *cloning {
+		if any {
+			fmt.Println()
+		}
+		fmt.Print(report.TableCloning(progs).Render())
+		any = true
+	}
+	if *integration {
+		if any {
+			fmt.Println()
+		}
+		fmt.Print(report.TableIntegration(progs).Render())
+		any = true
+	}
+	if !any {
+		fmt.Print(report.Figure1())
+		fmt.Println()
+		fmt.Print(report.Table1(progs).Render())
+		fmt.Println()
+		fmt.Print(report.Table2(progs).Render())
+		fmt.Println()
+		fmt.Print(report.Table3(progs).Render())
+	}
+}
+
+func loadSuite(scale int) []*report.Loaded {
+	var ls []*report.Loaded
+	for _, name := range suite.Names() {
+		p := suite.Generate(name, scale)
+		prog, err := ipcp.Load(p.Source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: generated program %s is invalid: %v\n", name, err)
+			os.Exit(1)
+		}
+		ls = append(ls, report.NewLoaded(p, prog))
+	}
+	return ls
+}

@@ -1,0 +1,83 @@
+// Cloning: the downstream use of interprocedural constants the paper
+// highlights in §1 and §5. Metzger & Stroud's CONVEX Application
+// Compiler used CONSTANTS sets to drive goal-directed procedure cloning:
+// when call sites pass conflicting constants, the lattice meet destroys
+// all of them, and cloning the procedure per incoming constant vector
+// gets them back.
+//
+// This example models a solver configured at two resolutions. The plain
+// propagation proves nothing about GRID's parameters; cloning produces
+// GRID and GRID_C1, each with a fully constant configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipcp"
+)
+
+const source = `
+PROGRAM MULTIG
+  CALL GRID(129, 4)
+  CALL GRID(257, 6)
+END
+
+SUBROUTINE GRID(NPTS, NLEVEL)
+  INTEGER NPTS, NLEVEL, L, W
+  W = 0
+  DO L = 1, NLEVEL
+    CALL RELAX(NPTS, L)
+  ENDDO
+  W = NPTS - 1
+  RETURN
+END
+
+SUBROUTINE RELAX(N, LEV)
+  INTEGER N, LEV, I, S
+  S = 0
+  DO I = 2, N - 1
+    S = S + I*LEV
+  ENDDO
+  RETURN
+END
+`
+
+func main() {
+	prog, err := ipcp.Load(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+
+	out := prog.AnalyzeWithCloning(cfg, ipcp.CloneOptions{})
+
+	fmt.Println("Before cloning:")
+	printConstants(out.Base)
+	fmt.Println()
+	fmt.Printf("After %d round(s) of cloning (%d clones):\n", out.Rounds, out.TotalClones)
+	printConstants(out.Final)
+
+	fmt.Println()
+	fmt.Printf("Substituted references: %d -> %d\n",
+		out.Base.TotalSubstituted, out.Final.TotalSubstituted)
+	fmt.Println("Each GRID version now has constant NPTS and NLEVEL — and the")
+	fmt.Println("cascade specialized RELAX per grid size on the second round,")
+	fmt.Println("exactly the effect Metzger & Stroud reported.")
+}
+
+func printConstants(rep *ipcp.Report) {
+	for _, p := range rep.Procedures {
+		if len(p.Constants) == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s", p.Name)
+		for _, c := range p.Constants {
+			fmt.Printf(" %s=%d", c.Name, c.Value)
+		}
+		fmt.Println()
+	}
+	if rep.TotalConstants == 0 {
+		fmt.Println("  (no constants — every call-site pair conflicts)")
+	}
+}

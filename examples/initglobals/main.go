@@ -1,0 +1,119 @@
+// Initglobals: the paper's "ocean" effect (§4.2). When a program starts
+// with an initialization routine that assigns constants to COMMON
+// variables, those constants are invisible to forward jump functions
+// alone — the assignments happen inside the callee. Return jump
+// functions model the transmission of constants *back* to the call site,
+// after which every later call site sees them.
+//
+// On ocean this tripled the number of constants the analyzer found; this
+// example reproduces the mechanism on a miniature of the same structure,
+// including the dead debug code that complete propagation removes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipcp"
+)
+
+const source = `
+PROGRAM MINIOC
+  COMMON /GRID/ NX, NY, NSTEPS
+  INTEGER NX, NY, NSTEPS
+  CALL INIT(0)
+  CALL DIFFUSE
+  CALL ADVECT
+  CALL OUTPUT
+END
+
+SUBROUTINE INIT(IDEBUG)
+  COMMON /GRID/ NX, NY, NSTEPS
+  INTEGER NX, NY, NSTEPS, IDEBUG
+  NX = 128
+  NY = 64
+  NSTEPS = 500
+  IF (IDEBUG .NE. 0) THEN
+    READ NSTEPS
+  ENDIF
+  RETURN
+END
+
+SUBROUTINE DIFFUSE
+  COMMON /GRID/ NX, NY, NSTEPS
+  INTEGER NX, NY, NSTEPS, I, J, S
+  S = 0
+  DO I = 1, NX
+    DO J = 1, NY
+      S = S + I + J
+    ENDDO
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE ADVECT
+  COMMON /GRID/ NX, NY, NSTEPS
+  INTEGER NX, NY, NSTEPS, T, S
+  S = 0
+  DO T = 1, NSTEPS
+    S = S + NX*NY
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE OUTPUT
+  COMMON /GRID/ NX, NY, NSTEPS
+  INTEGER NX, NY, NSTEPS
+  WRITE(*,*) NX, NY, NSTEPS
+  RETURN
+END
+`
+
+func show(title string, rep *ipcp.Report) {
+	fmt.Printf("%s: %d constants, %d references substituted\n",
+		title, rep.TotalConstants, rep.TotalSubstituted)
+	for _, name := range []string{"DIFFUSE", "ADVECT", "OUTPUT"} {
+		p := rep.Procedure(name)
+		fmt.Printf("  %-8s:", name)
+		if p == nil || len(p.Constants) == 0 {
+			fmt.Println(" (nothing known)")
+			continue
+		}
+		for _, c := range p.Constants {
+			fmt.Printf(" %s=%d", c.Name, c.Value)
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	prog, err := ipcp.Load(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	without := prog.Analyze(ipcp.Config{
+		Jump: ipcp.Polynomial, ReturnJumpFunctions: false, MOD: true,
+	})
+	show("Without return jump functions", without)
+	fmt.Println()
+
+	with := prog.Analyze(ipcp.Config{
+		Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true,
+	})
+	show("With return jump functions   ", with)
+	fmt.Println()
+
+	// NSTEPS merges the constant 500 with a possible debug READ, so it
+	// stays unknown — until complete propagation proves the debug arm
+	// dead (IDEBUG is the interprocedural constant 0) and removes it.
+	complete := prog.Analyze(ipcp.Config{
+		Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true,
+	})
+	show("Complete propagation         ", complete)
+
+	fmt.Println()
+	fmt.Printf("Return jump functions: %d -> %d substitutions (the paper saw 62 -> 194 on ocean).\n",
+		without.TotalSubstituted, with.TotalSubstituted)
+	fmt.Printf("Dead-code elimination rounds used: %d (the paper needed one).\n", complete.DCERounds)
+}

@@ -1,0 +1,110 @@
+// Loopbounds: the paper's motivating scenario (§1). Eigenmann & Blume
+// observed that interprocedural constants are often used as loop bounds,
+// and knowing them improves both dependence information and the
+// profitability analysis of automatic parallelization.
+//
+// This example models a small stencil code whose grid dimensions are
+// configured once at the top of the program and passed down a call
+// chain. It compares how far each jump-function flavor propagates the
+// bounds, printing the per-procedure CONSTANTS sets a parallelizer
+// would consume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipcp"
+)
+
+const source = `
+PROGRAM STENCIL
+  INTEGER NX, NY
+  NX = 512
+  NY = 256
+  CALL OUTER(NX, NY)
+END
+
+SUBROUTINE OUTER(N, M)
+  INTEGER N, M, I
+  DO I = 1, N
+    CALL ROW(M, I)
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE ROW(LEN, IDX)
+  INTEGER LEN, IDX, J, S
+  S = 0
+  DO J = 1, LEN
+    S = S + J * IDX
+  ENDDO
+  CALL TAIL(LEN)
+  RETURN
+END
+
+SUBROUTINE TAIL(LEN)
+  INTEGER LEN, J, S
+  S = 0
+  DO J = LEN - 2, LEN
+    S = S + J
+  ENDDO
+  RETURN
+END
+`
+
+func main() {
+	prog, err := ipcp.Load(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Loop-bound constants discovered per jump-function flavor:")
+	fmt.Println("(a parallelizing compiler needs these to compute trip counts)")
+	fmt.Println()
+
+	procs := []string{"OUTER", "ROW", "TAIL"}
+	bounds := map[string]string{"OUTER": "N", "ROW": "LEN", "TAIL": "LEN"}
+
+	fmt.Printf("%-16s", "flavor")
+	for _, p := range procs {
+		fmt.Printf("  %8s", p)
+	}
+	fmt.Println()
+	for _, flavor := range ipcp.JumpFunctions {
+		rep := prog.Analyze(ipcp.Config{
+			Jump:                flavor,
+			ReturnJumpFunctions: true,
+			MOD:                 true,
+		})
+		fmt.Printf("%-16s", flavor)
+		for _, p := range procs {
+			if v, ok := rep.ConstantValue(p, bounds[p]); ok {
+				fmt.Printf("  %8d", v)
+			} else {
+				fmt.Printf("  %8s", "unknown")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("The intraprocedural flavor reaches OUTER (one call edge); only the")
+	fmt.Println("pass-through and polynomial flavors reach ROW and TAIL, where the")
+	fmt.Println("actual parallel loops live — the paper's argument for pass-through")
+	fmt.Println("as the most cost-effective choice.")
+
+	// IDX, by contrast, varies with the loop: no flavor may claim it.
+	rep := prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true})
+	if _, ok := rep.ConstantValue("ROW", "IDX"); ok {
+		log.Fatal("BUG: loop-varying IDX reported constant")
+	}
+	fmt.Println()
+	fmt.Println("ROW's IDX varies per iteration and is correctly reported unknown.")
+
+	// The §4 classification: how many of the substituted references sit
+	// in loop bounds and conditions (the ones a dependence analyzer and
+	// a parallelizer actually consume).
+	fmt.Printf("\nOf %d substituted references, %d are loop bounds or branch conditions.\n",
+		rep.TotalSubstituted, rep.TotalControlFlowSubstituted)
+}

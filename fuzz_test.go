@@ -1,0 +1,49 @@
+package ipcp_test
+
+import (
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+// FuzzAnalyze drives the entire pipeline — front end, SSA, value
+// numbering, jump functions, both solvers, complete propagation, the
+// intraprocedural baseline — over arbitrary inputs. The invariant under
+// fuzzing: no panics, and the flavor containment of §3.1 holds for
+// every program that loads.
+//
+// Run with `go test -fuzz FuzzAnalyze -fuzztime 1m .` for a session.
+func FuzzAnalyze(f *testing.F) {
+	for _, name := range suite.Names() {
+		f.Add(suite.Generate(name, 1).Source)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(suite.Random(seed, 4).Source)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			return
+		}
+		prog, err := ipcp.Load(src)
+		if err != nil {
+			return
+		}
+		prev := -1
+		for _, flavor := range ipcp.JumpFunctions {
+			rep := prog.Analyze(ipcp.Config{Jump: flavor, ReturnJumpFunctions: true, MOD: true})
+			if rep.TotalSubstituted < prev {
+				t.Fatalf("flavor containment violated at %v: %d < %d\n%s",
+					flavor, rep.TotalSubstituted, prev, src)
+			}
+			prev = rep.TotalSubstituted
+		}
+		prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true})
+		a := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+		b := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true})
+		if a.TotalSubstituted != b.TotalSubstituted {
+			t.Fatalf("solver disagreement: %d vs %d\n%s", a.TotalSubstituted, b.TotalSubstituted, src)
+		}
+		prog.AnalyzeIntraprocedural()
+	})
+}

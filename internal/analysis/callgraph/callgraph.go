@@ -1,0 +1,174 @@
+// Package callgraph builds the program call graph the interprocedural
+// propagation runs over, including Tarjan strongly-connected components
+// and the bottom-up / top-down visit orders the jump-function generation
+// phases need.
+package callgraph
+
+import "ipcp/internal/ir"
+
+// Node is one procedure in the call graph.
+type Node struct {
+	Proc *ir.Proc
+
+	// Sites lists every call instruction inside Proc.
+	Sites []*ir.Instr
+
+	// Callees and Callers are deduplicated adjacency lists.
+	Callees []*Node
+	Callers []*Node
+
+	// SCC is the index of this node's strongly-connected component;
+	// components are numbered in reverse topological order (callees
+	// before callers).
+	SCC int
+
+	// visitation state for Tarjan's algorithm
+	index, lowlink int
+	onStack        bool
+}
+
+// Graph is the call graph of a program.
+type Graph struct {
+	Prog  *ir.Program
+	Nodes map[*ir.Proc]*Node
+
+	// SCCs lists the strongly-connected components in reverse
+	// topological order: every call from SCCs[i] lands in SCCs[j] with
+	// j <= i (j < i unless the call stays inside the component).
+	SCCs [][]*Node
+}
+
+// Build constructs the call graph of p.
+func Build(p *ir.Program) *Graph {
+	g := &Graph{Prog: p, Nodes: make(map[*ir.Proc]*Node, len(p.Procs))}
+	for _, proc := range p.Procs {
+		g.Nodes[proc] = &Node{Proc: proc, index: -1}
+	}
+	for _, proc := range p.Procs {
+		n := g.Nodes[proc]
+		seen := map[*Node]bool{}
+		for _, b := range proc.Blocks {
+			for _, i := range b.Instrs {
+				if i.Op != ir.OpCall {
+					continue
+				}
+				n.Sites = append(n.Sites, i)
+				callee := g.Nodes[i.Callee]
+				if callee == nil {
+					continue // defensive: unresolved callee
+				}
+				if !seen[callee] {
+					seen[callee] = true
+					n.Callees = append(n.Callees, callee)
+					callee.Callers = append(callee.Callers, n)
+				}
+			}
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
+// computeSCCs runs Tarjan's algorithm. Tarjan emits components in
+// reverse topological order of the condensation, exactly the bottom-up
+// order return-jump-function generation wants.
+func (g *Graph) computeSCCs() {
+	var (
+		counter int
+		stack   []*Node
+	)
+	var strongConnect func(n *Node)
+	strongConnect = func(n *Node) {
+		n.index = counter
+		n.lowlink = counter
+		counter++
+		stack = append(stack, n)
+		n.onStack = true
+		for _, m := range n.Callees {
+			if m.index < 0 {
+				strongConnect(m)
+				if m.lowlink < n.lowlink {
+					n.lowlink = m.lowlink
+				}
+			} else if m.onStack && m.index < n.lowlink {
+				n.lowlink = m.index
+			}
+		}
+		if n.lowlink == n.index {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				m.SCC = len(g.SCCs)
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	// Visit in program order for determinism.
+	for _, proc := range g.Prog.Procs {
+		if n := g.Nodes[proc]; n.index < 0 {
+			strongConnect(n)
+		}
+	}
+}
+
+// BottomUp returns the nodes so that every callee outside the caller's
+// SCC appears before the caller (reverse topological over the
+// condensation).
+func (g *Graph) BottomUp() []*Node {
+	var order []*Node
+	for _, comp := range g.SCCs {
+		order = append(order, comp...)
+	}
+	return order
+}
+
+// TopDown returns the reverse of BottomUp: callers before callees.
+func (g *Graph) TopDown() []*Node {
+	bu := g.BottomUp()
+	td := make([]*Node, len(bu))
+	for i, n := range bu {
+		td[len(bu)-1-i] = n
+	}
+	return td
+}
+
+// InCycle reports whether the node's procedure participates in
+// recursion (its SCC has more than one member, or it calls itself).
+func (g *Graph) InCycle(n *Node) bool {
+	if len(g.SCCs[n.SCC]) > 1 {
+		return true
+	}
+	for _, m := range n.Callees {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ReachableFromMain returns the set of procedures transitively callable
+// from the main program.
+func (g *Graph) ReachableFromMain() map[*ir.Proc]bool {
+	reach := make(map[*ir.Proc]bool)
+	if g.Prog.Main == nil {
+		return reach
+	}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if reach[n.Proc] {
+			return
+		}
+		reach[n.Proc] = true
+		for _, m := range n.Callees {
+			visit(m)
+		}
+	}
+	visit(g.Nodes[g.Prog.Main])
+	return reach
+}

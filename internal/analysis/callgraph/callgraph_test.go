@@ -1,0 +1,156 @@
+package callgraph
+
+import (
+	"testing"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return irbuild.Build(sp)
+}
+
+const chainSrc = `
+PROGRAM MAIN
+  CALL A(1)
+  CALL B(2)
+END
+SUBROUTINE A(X)
+  INTEGER X
+  CALL B(X)
+  RETURN
+END
+SUBROUTINE B(X)
+  INTEGER X
+  X = X + 1
+  RETURN
+END
+SUBROUTINE ORPHAN(X)
+  INTEGER X
+  X = 0
+  RETURN
+END
+`
+
+func TestBuildEdges(t *testing.T) {
+	p := build(t, chainSrc)
+	g := Build(p)
+	main := g.Nodes[p.ProcByName["MAIN"]]
+	a := g.Nodes[p.ProcByName["A"]]
+	b := g.Nodes[p.ProcByName["B"]]
+
+	if len(main.Sites) != 2 {
+		t.Fatalf("main sites: %d", len(main.Sites))
+	}
+	if len(main.Callees) != 2 {
+		t.Fatalf("main callees: %d", len(main.Callees))
+	}
+	if len(b.Callers) != 2 {
+		t.Fatalf("b callers: %d", len(b.Callers))
+	}
+	if len(a.Callees) != 1 || a.Callees[0] != b {
+		t.Fatalf("a callees: %v", a.Callees)
+	}
+}
+
+func TestBottomUpTopDown(t *testing.T) {
+	p := build(t, chainSrc)
+	g := Build(p)
+	pos := map[string]int{}
+	for i, n := range g.BottomUp() {
+		pos[n.Proc.Name] = i
+	}
+	if !(pos["B"] < pos["A"] && pos["A"] < pos["MAIN"]) {
+		t.Fatalf("bottom-up order wrong: %v", pos)
+	}
+	tdPos := map[string]int{}
+	for i, n := range g.TopDown() {
+		tdPos[n.Proc.Name] = i
+	}
+	if !(tdPos["MAIN"] < tdPos["A"] && tdPos["A"] < tdPos["B"]) {
+		t.Fatalf("top-down order wrong: %v", tdPos)
+	}
+}
+
+func TestReachableFromMain(t *testing.T) {
+	p := build(t, chainSrc)
+	g := Build(p)
+	reach := g.ReachableFromMain()
+	if !reach[p.ProcByName["B"]] {
+		t.Error("B should be reachable")
+	}
+	if reach[p.ProcByName["ORPHAN"]] {
+		t.Error("ORPHAN should not be reachable")
+	}
+}
+
+func TestRecursionSCC(t *testing.T) {
+	p := build(t, `
+PROGRAM MAIN
+  CALL EVEN(4)
+END
+SUBROUTINE EVEN(N)
+  INTEGER N
+  IF (N .GT. 0) CALL ODD(N-1)
+  RETURN
+END
+SUBROUTINE ODD(N)
+  INTEGER N
+  IF (N .GT. 0) CALL EVEN(N-1)
+  RETURN
+END
+SUBROUTINE SELF(N)
+  INTEGER N
+  IF (N .GT. 0) CALL SELF(N-1)
+  RETURN
+END
+`)
+	g := Build(p)
+	even := g.Nodes[p.ProcByName["EVEN"]]
+	odd := g.Nodes[p.ProcByName["ODD"]]
+	self := g.Nodes[p.ProcByName["SELF"]]
+	main := g.Nodes[p.ProcByName["MAIN"]]
+
+	if even.SCC != odd.SCC {
+		t.Error("EVEN and ODD should share an SCC")
+	}
+	if !g.InCycle(even) || !g.InCycle(odd) {
+		t.Error("mutual recursion not detected")
+	}
+	if !g.InCycle(self) {
+		t.Error("self recursion not detected")
+	}
+	if g.InCycle(main) {
+		t.Error("MAIN is not recursive")
+	}
+	// Reverse topological: the EVEN/ODD component precedes MAIN's.
+	if !(even.SCC < main.SCC) {
+		t.Errorf("SCC order: even=%d main=%d", even.SCC, main.SCC)
+	}
+}
+
+func TestSCCOrderProperty(t *testing.T) {
+	p := build(t, chainSrc)
+	g := Build(p)
+	// For every edge u→v: SCC(v) <= SCC(u).
+	for _, n := range g.BottomUp() {
+		for _, m := range n.Callees {
+			if m.SCC > n.SCC {
+				t.Fatalf("edge %s→%s violates SCC order (%d > %d)",
+					n.Proc.Name, m.Proc.Name, m.SCC, n.SCC)
+			}
+		}
+	}
+}

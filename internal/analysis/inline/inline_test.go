@@ -1,0 +1,189 @@
+package inline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipcp/internal/core"
+	"ipcp/internal/core/jump"
+	"ipcp/internal/interp"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+func build(t *testing.T, src string) (*sema.Program, *ir.Program) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return sp, irbuild.Build(sp)
+}
+
+func TestInlineBasic(t *testing.T) {
+	_, prog := build(t, `
+PROGRAM MAIN
+  INTEGER X
+  X = 1
+  CALL BUMP(X)
+  WRITE(*,*) X
+END
+SUBROUTINE BUMP(V)
+  INTEGER V
+  V = V + 41
+  RETURN
+END
+`)
+	np, stats := Program(prog, nil)
+	if stats.Inlined != 1 || stats.Dropped != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if len(np.Procs) != 1 {
+		t.Fatalf("procs: %d", len(np.Procs))
+	}
+	if err := ir.VerifyProgram(np); err != nil {
+		t.Fatal(err)
+	}
+	// By-reference semantics survive: the inlined body writes X.
+	res := interp.Run(np, interp.Options{})
+	if res.Err != nil || len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("inlined execution: %v %v", res.Err, res.Output)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	_, prog := build(t, `
+PROGRAM MAIN
+  INTEGER R
+  R = FACT(5)
+  WRITE(*,*) R
+END
+INTEGER FUNCTION FACT(N)
+  INTEGER N
+  IF (N .LE. 1) THEN
+    FACT = 1
+  ELSE
+    FACT = N * FACT(N-1)
+  ENDIF
+  RETURN
+END
+`)
+	np, _ := Program(prog, nil)
+	if np.ProcByName["FACT"] == nil {
+		t.Fatal("recursive FACT must survive")
+	}
+	res := interp.Run(np, interp.Options{})
+	if res.Err != nil || res.Output[0] != 120 {
+		t.Fatalf("execution: %v %v", res.Err, res.Output)
+	}
+}
+
+func TestInlineRespectsBudget(t *testing.T) {
+	_, prog := build(t, `
+PROGRAM MAIN
+  CALL S(1)
+END
+SUBROUTINE S(N)
+  INTEGER N, A, B, C, D
+  A = N
+  B = A + 1
+  C = B + 2
+  D = C + 3
+  RETURN
+END
+`)
+	np, stats := Program(prog, &Options{MaxCalleeSize: 2})
+	if stats.Inlined != 0 {
+		t.Fatalf("budget ignored: %+v", stats)
+	}
+	if np.ProcByName["S"] == nil {
+		t.Fatal("S dropped despite not being inlined")
+	}
+}
+
+// The decisive test: inlining must preserve behavior exactly, over the
+// corpus, the benchmark suite, and random programs.
+func TestInlinePreservesBehavior(t *testing.T) {
+	sources := map[string]string{}
+	for _, name := range suite.Names() {
+		sources[name] = suite.Generate(name, 1).Source
+	}
+	for seed := int64(1); seed <= 15; seed++ {
+		p := suite.Random(seed, 5)
+		sources[p.Name] = p.Source
+	}
+	corpus, _ := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "*.f"))
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[filepath.Base(path)] = string(data)
+	}
+	if len(sources) < 25 {
+		t.Fatalf("only %d sources", len(sources))
+	}
+
+	for name, src := range sources {
+		sp, prog := build(t, src)
+		_ = sp
+		np, stats := Program(prog, nil)
+		if err := ir.VerifyProgram(np); err != nil {
+			t.Fatalf("%s: inlined program invalid: %v", name, err)
+		}
+		for seed := int64(0); seed < 2; seed++ {
+			opts := interp.Options{InputSeed: seed, Fuel: 100_000_000}
+			a := interp.Run(irbuild.Build(sp), opts)
+			b := interp.Run(np, opts)
+			if (a.Err == nil) != (b.Err == nil) {
+				t.Fatalf("%s: fault behavior diverged: %v vs %v", name, a.Err, b.Err)
+			}
+			if len(a.Output) != len(b.Output) {
+				t.Fatalf("%s seed %d (%d inlines): output length %d vs %d",
+					name, seed, stats.Inlined, len(a.Output), len(b.Output))
+			}
+			for i := range a.Output {
+				if a.Output[i] != b.Output[i] {
+					t.Fatalf("%s seed %d: output[%d] = %d vs %d",
+						name, seed, i, a.Output[i], b.Output[i])
+				}
+			}
+		}
+	}
+}
+
+// The §5 experiment: procedure integration + intraprocedural
+// propagation (Wegman–Zadeck) versus the jump-function framework.
+// Integration must find at least as many constants as the framework's
+// strictly-intraprocedural baseline, and on call-structured programs it
+// should rival the interprocedural counts.
+func TestIntegrationBaselineExperiment(t *testing.T) {
+	for _, name := range []string{"doduc", "matrix300", "ocean", "trfd"} {
+		src := suite.Generate(name, 2).Source
+		sp, prog := build(t, src)
+
+		ipcpCount := core.Analyze(sp, core.Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true}).TotalSubstituted
+		intraCount := core.AnalyzeIntraprocedural(sp).TotalSubstituted
+
+		inlined, stats := Program(prog, nil)
+		wzCount := core.AnalyzeIntraproceduralIR(inlined).TotalSubstituted
+
+		if stats.Inlined == 0 {
+			t.Errorf("%s: nothing inlined", name)
+		}
+		if wzCount < intraCount {
+			t.Errorf("%s: integration (%d) found fewer than plain intraprocedural (%d)",
+				name, wzCount, intraCount)
+		}
+		t.Logf("%s: ipcp=%d integration+intra=%d plain-intra=%d (inlined %d sites)",
+			name, ipcpCount, wzCount, intraCount, stats.Inlined)
+	}
+}

@@ -1,0 +1,199 @@
+// Package modref computes flow-insensitive interprocedural MOD and REF
+// summaries in the style of Cooper–Kennedy: for every procedure, which
+// formal parameters and which globals a call to it may modify (MOD) or
+// read (REF), including effects that flow through by-reference parameter
+// bindings and through COMMON.
+//
+// The study's central Table 3 experiment toggles exactly this
+// information: Summary.Oracle() feeds SSA construction when MOD is
+// enabled; ir.WorstCase replaces it when MOD is disabled.
+package modref
+
+import (
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/ir"
+)
+
+// Summary holds MOD/REF information for every procedure of one program.
+type Summary struct {
+	prog *ir.Program
+
+	modFormal map[*ir.Proc][]bool
+	refFormal map[*ir.Proc][]bool
+	modGlobal map[*ir.Proc]map[*ir.GlobalVar]bool
+	refGlobal map[*ir.Proc]map[*ir.GlobalVar]bool
+}
+
+// ModFormal reports whether a call to p may modify p's idx-th formal.
+func (s *Summary) ModFormal(p *ir.Proc, idx int) bool {
+	m := s.modFormal[p]
+	return idx < len(m) && m[idx]
+}
+
+// RefFormal reports whether a call to p may read p's idx-th formal.
+func (s *Summary) RefFormal(p *ir.Proc, idx int) bool {
+	m := s.refFormal[p]
+	return idx < len(m) && m[idx]
+}
+
+// ModGlobal reports whether a call to p may modify the global g.
+func (s *Summary) ModGlobal(p *ir.Proc, g *ir.GlobalVar) bool { return s.modGlobal[p][g] }
+
+// RefGlobal reports whether a call to p may read the global g.
+func (s *Summary) RefGlobal(p *ir.Proc, g *ir.GlobalVar) bool { return s.refGlobal[p][g] }
+
+// Oracle adapts the summary to the ir.ModOracle interface used by SSA
+// construction.
+func (s *Summary) Oracle() ir.ModOracle { return oracle{s} }
+
+type oracle struct{ s *Summary }
+
+func (o oracle) ModifiesFormal(callee *ir.Proc, idx int) bool { return o.s.ModFormal(callee, idx) }
+func (o oracle) ModifiesGlobal(callee *ir.Proc, g *ir.GlobalVar) bool {
+	return o.s.ModGlobal(callee, g)
+}
+
+// Compute runs the analysis over the (pre-SSA or SSA) IR. It gathers
+// direct effects from each procedure body, then iterates bindings over
+// the call graph to a fixpoint; the call graph's reverse-topological SCC
+// order makes one pass suffice for nonrecursive programs.
+func Compute(p *ir.Program, g *callgraph.Graph) *Summary {
+	s := &Summary{
+		prog:      p,
+		modFormal: make(map[*ir.Proc][]bool, len(p.Procs)),
+		refFormal: make(map[*ir.Proc][]bool, len(p.Procs)),
+		modGlobal: make(map[*ir.Proc]map[*ir.GlobalVar]bool, len(p.Procs)),
+		refGlobal: make(map[*ir.Proc]map[*ir.GlobalVar]bool, len(p.Procs)),
+	}
+	for _, proc := range p.Procs {
+		s.modFormal[proc] = make([]bool, len(proc.Formals))
+		s.refFormal[proc] = make([]bool, len(proc.Formals))
+		s.modGlobal[proc] = make(map[*ir.GlobalVar]bool)
+		s.refGlobal[proc] = make(map[*ir.GlobalVar]bool)
+		s.direct(proc)
+	}
+
+	// Propagate over the call graph: process SCCs bottom-up, iterating
+	// within the whole graph until stable (recursion needs the loop).
+	order := g.BottomUp()
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if s.propagateInto(n) {
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// markMod records that proc may modify v (a formal or global view).
+func (s *Summary) markMod(proc *ir.Proc, v *ir.Var) bool {
+	switch v.Kind {
+	case ir.FormalVar:
+		if !s.modFormal[proc][v.Index] {
+			s.modFormal[proc][v.Index] = true
+			return true
+		}
+	case ir.GlobalRefVar:
+		if !s.modGlobal[proc][v.Global] {
+			s.modGlobal[proc][v.Global] = true
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Summary) markRef(proc *ir.Proc, v *ir.Var) bool {
+	switch v.Kind {
+	case ir.FormalVar:
+		if !s.refFormal[proc][v.Index] {
+			s.refFormal[proc][v.Index] = true
+			return true
+		}
+	case ir.GlobalRefVar:
+		if !s.refGlobal[proc][v.Global] {
+			s.refGlobal[proc][v.Global] = true
+			return true
+		}
+	}
+	return false
+}
+
+// direct collects the effects a procedure has through its own
+// instructions (no call propagation yet).
+func (s *Summary) direct(proc *ir.Proc) {
+	for _, b := range proc.Blocks {
+		for _, i := range b.Instrs {
+			// Definitions.
+			switch {
+			case i.Op.DefinesScalar() && i.Var != nil:
+				s.markMod(proc, i.Var)
+			case i.Op == ir.OpAStore:
+				s.markMod(proc, i.Var) // array formal or global array view
+			case i.Op == ir.OpRead && i.Var != nil:
+				s.markMod(proc, i.Var)
+			}
+			// Uses: every non-synthetic variable operand is a direct
+			// read. (Synthetic operands — the implicit global uses on
+			// calls and the Ret escape list — are modeled structurally,
+			// not as source-level reads.)
+			for a := range i.Args {
+				op := &i.Args[a]
+				if op.Var == nil || op.Synthetic {
+					continue
+				}
+				if i.Op == ir.OpCall && a < i.NumActuals && bareByRef(i, a) {
+					// A bare by-reference actual is not itself a read;
+					// the callee's REF of that formal propagates it.
+					continue
+				}
+				s.markRef(proc, op.Var)
+			}
+		}
+	}
+}
+
+// bareByRef reports whether actual a of the call is a bare variable
+// (including arrays), i.e. a by-reference binding rather than a value.
+func bareByRef(call *ir.Instr, a int) bool {
+	op := call.Args[a]
+	return op.Const == nil && op.Var != nil && op.Var.Kind != ir.TempVar
+}
+
+// propagateInto folds callee summaries into n's procedure; it reports
+// whether anything changed.
+func (s *Summary) propagateInto(n *callgraph.Node) bool {
+	proc := n.Proc
+	changed := false
+	for _, call := range n.Sites {
+		callee := call.Callee
+		// Parameter bindings.
+		for a := 0; a < call.NumActuals && a < len(callee.Formals); a++ {
+			if !bareByRef(call, a) {
+				continue
+			}
+			v := call.Args[a].Var
+			if s.ModFormal(callee, a) && s.markMod(proc, v) {
+				changed = true
+			}
+			if s.RefFormal(callee, a) && s.markRef(proc, v) {
+				changed = true
+			}
+		}
+		// Globals flow straight through.
+		for g := range s.modGlobal[callee] {
+			if !s.modGlobal[proc][g] {
+				s.modGlobal[proc][g] = true
+				changed = true
+			}
+		}
+		for g := range s.refGlobal[callee] {
+			if !s.refGlobal[proc][g] {
+				s.refGlobal[proc][g] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}

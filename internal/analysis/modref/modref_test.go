@@ -1,0 +1,225 @@
+package modref
+
+import (
+	"testing"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+)
+
+func compute(t *testing.T, src string) (*ir.Program, *Summary) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p := irbuild.Build(sp)
+	g := callgraph.Build(p)
+	return p, Compute(p, g)
+}
+
+func TestDirectMod(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  CALL S(1, 2)
+END
+SUBROUTINE S(A, B)
+  INTEGER A, B, L
+  A = B + 1
+  L = B
+  RETURN
+END
+`)
+	sp := p.ProcByName["S"]
+	if !s.ModFormal(sp, 0) {
+		t.Error("A is assigned: MOD")
+	}
+	if s.ModFormal(sp, 1) {
+		t.Error("B is only read: not MOD")
+	}
+	if !s.RefFormal(sp, 1) {
+		t.Error("B is read: REF")
+	}
+	if s.RefFormal(sp, 0) {
+		t.Error("A is only written: not REF")
+	}
+}
+
+func TestModThroughBindingChain(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  INTEGER X
+  CALL OUTER(X)
+END
+SUBROUTINE OUTER(P)
+  INTEGER P
+  CALL INNER(P)
+  RETURN
+END
+SUBROUTINE INNER(Q)
+  INTEGER Q
+  Q = 5
+  RETURN
+END
+`)
+	outer := p.ProcByName["OUTER"]
+	if !s.ModFormal(outer, 0) {
+		t.Error("OUTER's P is modified through INNER")
+	}
+	if s.RefFormal(outer, 0) {
+		t.Error("P is never read")
+	}
+}
+
+func TestGlobalEffectsPropagate(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  COMMON /BLK/ G1, G2
+  INTEGER G1, G2
+  CALL TOP
+END
+SUBROUTINE TOP
+  CALL WRITER
+  CALL READER
+  RETURN
+END
+SUBROUTINE WRITER
+  COMMON /BLK/ GA, GB
+  INTEGER GA, GB
+  GA = 1
+  RETURN
+END
+SUBROUTINE READER
+  COMMON /BLK/ GA, GB
+  INTEGER GA, GB, L
+  L = GB
+  RETURN
+END
+`)
+	top := p.ProcByName["TOP"]
+	g1, g2 := p.Globals[0], p.Globals[1]
+	if !s.ModGlobal(top, g1) {
+		t.Error("TOP modifies G1 via WRITER")
+	}
+	if s.ModGlobal(top, g2) {
+		t.Error("nothing modifies G2")
+	}
+	if !s.RefGlobal(top, g2) {
+		t.Error("TOP reads G2 via READER")
+	}
+	if s.RefGlobal(top, g1) {
+		t.Error("nothing reads G1")
+	}
+}
+
+func TestRecursiveMod(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  INTEGER X
+  CALL A(X, 3)
+END
+SUBROUTINE A(P, N)
+  INTEGER P, N
+  IF (N .GT. 0) THEN
+    CALL B(P, N-1)
+  ENDIF
+  RETURN
+END
+SUBROUTINE B(P, N)
+  INTEGER P, N
+  P = P + 1
+  IF (N .GT. 0) THEN
+    CALL A(P, N-1)
+  ENDIF
+  RETURN
+END
+`)
+	a := p.ProcByName["A"]
+	b := p.ProcByName["B"]
+	if !s.ModFormal(a, 0) || !s.ModFormal(b, 0) {
+		t.Error("P is modified through the A↔B cycle")
+	}
+	// N is read in both but modified in neither (N-1 passes a temp).
+	if s.ModFormal(a, 1) || s.ModFormal(b, 1) {
+		t.Error("N is never modified (expression actuals are temps)")
+	}
+	if !s.RefFormal(a, 1) || !s.RefFormal(b, 1) {
+		t.Error("N is read")
+	}
+}
+
+func TestArrayFormalsAndReads(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  INTEGER BUF(10), X
+  CALL FILL(BUF, X)
+END
+SUBROUTINE FILL(A, N)
+  INTEGER A(10), N
+  A(1) = 7
+  N = A(2)
+  RETURN
+END
+`)
+	fill := p.ProcByName["FILL"]
+	if !s.ModFormal(fill, 0) {
+		t.Error("array formal A is stored to: MOD")
+	}
+	if !s.RefFormal(fill, 0) {
+		t.Error("array formal A is loaded from: REF")
+	}
+	if !s.ModFormal(fill, 1) {
+		t.Error("N assigned")
+	}
+}
+
+func TestReadStatementIsMod(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  INTEGER X
+  CALL GET(X)
+END
+SUBROUTINE GET(V)
+  INTEGER V
+  READ V
+  RETURN
+END
+`)
+	get := p.ProcByName["GET"]
+	if !s.ModFormal(get, 0) {
+		t.Error("READ modifies its target")
+	}
+}
+
+func TestOracleMatchesSummary(t *testing.T) {
+	p, s := compute(t, `
+PROGRAM MAIN
+  COMMON /B/ G
+  INTEGER G, X
+  CALL S(X, 1)
+END
+SUBROUTINE S(A, B)
+  INTEGER A, B
+  COMMON /B/ G
+  INTEGER G
+  A = 1
+  G = 2
+  RETURN
+END
+`)
+	o := s.Oracle()
+	sp := p.ProcByName["S"]
+	if !o.ModifiesFormal(sp, 0) || o.ModifiesFormal(sp, 1) {
+		t.Error("oracle formal answers wrong")
+	}
+	if !o.ModifiesGlobal(sp, p.Globals[0]) {
+		t.Error("oracle global answer wrong")
+	}
+}

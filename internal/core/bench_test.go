@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"ipcp/internal/core/jump"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+func benchSema(b *testing.B, name string, scale int) *sema.Program {
+	b.Helper()
+	f, err := parser.Parse(suite.Generate(name, scale).Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// prepared builds a pipeline up to (but excluding) stage 3, so the
+// solver benchmarks measure propagation alone.
+func prepared(b *testing.B, sp *sema.Program, cfg Config) *pipeline {
+	b.Helper()
+	irp := irbuild.Build(sp)
+	pipe := newPipeline(irp, cfg)
+	pipe.buildSSA()
+	pipe.stage1ReturnJFs()
+	pipe.stage2ForwardJFs()
+	return pipe
+}
+
+// BenchmarkSolverSimple measures the paper's simple worklist solver
+// (stage 3 only; jump functions prebuilt).
+func BenchmarkSolverSimple(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	cfg := Config{Jump: jump.PassThrough, ReturnJFs: true, MOD: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pipe := prepared(b, sp, cfg)
+		b.StartTimer()
+		pipe.stage3Propagate()
+	}
+}
+
+// BenchmarkSolverDependence measures the Callahan et al. variant on the
+// same prebuilt jump functions.
+func BenchmarkSolverDependence(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	cfg := Config{Jump: jump.PassThrough, ReturnJFs: true, MOD: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pipe := prepared(b, sp, cfg)
+		b.StartTimer()
+		pipe.stage3PropagateDependence()
+	}
+}
+
+// BenchmarkStage1ReturnJFs isolates return-jump-function generation
+// (which includes the value-numbering pass, the dominant cost per §4.1).
+func BenchmarkStage1ReturnJFs(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	cfg := Config{Jump: jump.PassThrough, ReturnJFs: true, MOD: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		irp := irbuild.Build(sp)
+		pipe := newPipeline(irp, cfg)
+		pipe.buildSSA()
+		b.StartTimer()
+		pipe.stage1ReturnJFs()
+	}
+}
+
+// BenchmarkSubstitutionCount isolates stage 4's reference counting.
+func BenchmarkSubstitutionCount(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	cfg := Config{Jump: jump.PassThrough, ReturnJFs: true, MOD: true}
+	pipe := prepared(b, sp, cfg)
+	pipe.stage3Propagate()
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, proc := range pipe.prog.Procs {
+			n, _ := pipe.countSubstitutions(proc)
+			total += n
+		}
+	}
+	if total == 0 {
+		b.Fatal("no substitutions counted")
+	}
+	_ = ir.OpAdd
+}

@@ -1,0 +1,206 @@
+package clone
+
+import (
+	"testing"
+
+	"ipcp/internal/core"
+	"ipcp/internal/core/jump"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+func analyze(t *testing.T, src string) (*sema.Program, *core.Result) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	cfg := core.Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true}
+	return sp, core.Analyze(sp, cfg)
+}
+
+// Two call sites with different constants: the meet destroys both, and
+// cloning recovers them.
+const conflictSrc = `
+PROGRAM MAIN
+  CALL KERNEL(64)
+  CALL KERNEL(128)
+END
+SUBROUTINE KERNEL(N)
+  INTEGER N, I, S
+  S = 0
+  DO I = 1, N
+    S = S + I
+  ENDDO
+  RETURN
+END
+`
+
+func TestCloningRecoversConflictingConstants(t *testing.T) {
+	_, base := analyze(t, conflictSrc)
+	kernel := base.Procs["KERNEL"]
+	if len(kernel.Constants) != 0 {
+		t.Fatalf("base analysis should lose N to the meet: %v", kernel.Constants)
+	}
+
+	cfg := core.Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true}
+	out := AndAnalyze(base, cfg, Options{})
+	if out.TotalClones != 1 {
+		t.Fatalf("clones = %d, want 1 (two versions total)", out.TotalClones)
+	}
+	// Both versions now hold their own constant.
+	orig := out.Final.Procs["KERNEL"]
+	cl := out.Final.Procs["KERNEL_C1"]
+	if orig == nil || cl == nil {
+		t.Fatalf("missing versions: %v", out.Final.Procs)
+	}
+	vals := map[int64]bool{}
+	for _, pr := range []*core.ProcResult{orig, cl} {
+		if len(pr.Constants) != 1 {
+			t.Fatalf("%s constants: %v", pr.Name, pr.Constants)
+		}
+		vals[pr.Constants[0].Value] = true
+	}
+	if !vals[64] || !vals[128] {
+		t.Fatalf("expected 64 and 128 across versions, got %v", vals)
+	}
+	if out.Final.TotalSubstituted <= base.TotalSubstituted {
+		t.Fatalf("cloning should increase substitutions: %d vs %d",
+			out.Final.TotalSubstituted, base.TotalSubstituted)
+	}
+}
+
+func TestCloningRespectsVersionBudget(t *testing.T) {
+	_, base := analyze(t, `
+PROGRAM MAIN
+  CALL K(1)
+  CALL K(2)
+  CALL K(3)
+  CALL K(4)
+  CALL K(5)
+  CALL K(6)
+END
+SUBROUTINE K(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`)
+	np, stats := Apply(base, Options{MaxVersionsPerProc: 4})
+	// Six distinct signatures exceed the budget: no cloning.
+	if stats.ClonesCreated != 0 {
+		t.Fatalf("budget exceeded but %d clones created", stats.ClonesCreated)
+	}
+	if len(np.Procs) != len(base.Prog.Procs) {
+		t.Fatalf("program should be an unchanged copy")
+	}
+}
+
+func TestCloningSkipsUniformSites(t *testing.T) {
+	// All sites agree: nothing to recover, no clones.
+	_, base := analyze(t, `
+PROGRAM MAIN
+  CALL K(7)
+  CALL K(7)
+END
+SUBROUTINE K(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`)
+	if v, ok := constOf(base, "K", "N"); !ok || v != 7 {
+		t.Fatalf("K.N should already be 7")
+	}
+	_, stats := Apply(base, Options{})
+	if stats.ClonesCreated != 0 {
+		t.Fatalf("uniform sites must not clone, got %d", stats.ClonesCreated)
+	}
+}
+
+func constOf(res *core.Result, proc, name string) (int64, bool) {
+	pr := res.Procs[proc]
+	if pr == nil {
+		return 0, false
+	}
+	for _, c := range pr.Constants {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Cloning cascades: specializing a middle procedure exposes constants
+// one level deeper on the next round.
+func TestCloningIterates(t *testing.T) {
+	_, base := analyze(t, `
+PROGRAM MAIN
+  CALL MID(10)
+  CALL MID(20)
+END
+SUBROUTINE MID(N)
+  INTEGER N
+  CALL LEAF(N)
+  RETURN
+END
+SUBROUTINE LEAF(M)
+  INTEGER M, W
+  W = M * 2
+  RETURN
+END
+`)
+	cfg := core.Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true}
+	out := AndAnalyze(base, cfg, Options{})
+	if out.Rounds < 2 {
+		t.Fatalf("expected a cascading second round, got %d", out.Rounds)
+	}
+	// After convergence every LEAF version sees a constant.
+	found := 0
+	for name, pr := range out.Final.Procs {
+		if name == "LEAF" || name == "LEAF_C1" {
+			if len(pr.Constants) == 1 {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("both LEAF versions should hold constants, got %d", found)
+	}
+}
+
+// The suite's shared sinks (deliberately fed conflicting constants)
+// are exactly what cloning specializes; the counts must go up on the
+// programs that have them and never go down anywhere.
+func TestCloningOnSuite(t *testing.T) {
+	cfg := core.Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true}
+	improved := 0
+	for _, name := range suite.Names() {
+		src := suite.Generate(name, 2).Source
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sema.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := core.Analyze(sp, cfg)
+		out := AndAnalyze(base, cfg, Options{MaxVersionsPerProc: 16, MaxRounds: 2})
+		if out.Final.TotalSubstituted < base.TotalSubstituted {
+			t.Errorf("%s: cloning lost substitutions: %d -> %d",
+				name, base.TotalSubstituted, out.Final.TotalSubstituted)
+		}
+		if out.Final.TotalSubstituted > base.TotalSubstituted {
+			improved++
+		}
+	}
+	if improved < 4 {
+		t.Errorf("cloning should improve several suite programs, improved %d", improved)
+	}
+}

@@ -1,0 +1,446 @@
+// Package core implements the interprocedural constant propagation
+// framework of Callahan, Cooper, Kennedy & Torczon as studied by Grove &
+// Torczon (PLDI 1993): the four-stage pipeline of §4.1 —
+//
+//	stage 1  generate return jump functions (bottom-up over the call graph)
+//	stage 2  generate forward jump functions (value numbering per procedure)
+//	stage 3  propagate VAL sets around the call graph (iterative worklist)
+//	stage 4  record the CONSTANTS(p) sets and count substitutions
+//
+// A Config chooses the forward jump-function flavor, toggles return jump
+// functions and MOD information, and optionally iterates the whole
+// propagation with dead-code elimination ("complete propagation").
+package core
+
+import (
+	"sort"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/analysis/valnum"
+	"ipcp/internal/core/jump"
+	"ipcp/internal/core/lattice"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/sym"
+)
+
+// Config selects an analysis configuration (one column of the paper's
+// Tables 2–3).
+type Config struct {
+	// Jump is the forward jump-function flavor.
+	Jump jump.Kind
+
+	// ReturnJFs enables return jump functions (§3.2).
+	ReturnJFs bool
+
+	// MOD enables interprocedural MOD summaries; when false the
+	// analysis makes worst-case assumptions at every call site
+	// (Table 3, column 1).
+	MOD bool
+
+	// Complete iterates propagation with dead-code elimination until no
+	// dead code is found (Table 3, column 3).
+	Complete bool
+
+	// MaxDCERounds bounds the complete-propagation iteration
+	// (default 10). The paper observed convergence after one round.
+	MaxDCERounds int
+
+	// DependenceSolver selects the Callahan et al. dependence-driven
+	// propagation algorithm instead of the paper's simple worklist.
+	// Both compute identical VAL sets; the dependence-driven one
+	// re-evaluates each jump function only when a support member
+	// changes, achieving the O(Σ cost(J)) bound of §3.1.5.
+	DependenceSolver bool
+}
+
+// NamedConstant is one (name, value) member of a CONSTANTS(p) set.
+type NamedConstant struct {
+	Name   string
+	Global bool
+	Value  int64
+}
+
+// ProcResult is the outcome for one procedure.
+type ProcResult struct {
+	Name string
+
+	// FormalVals holds the final lattice value of each formal (array
+	// formals stay ⊥).
+	FormalVals []lattice.Value
+
+	// GlobalVals holds the final lattice value of each scalar global on
+	// entry, parallel to Program.ScalarGlobals.
+	GlobalVals []lattice.Value
+
+	// Constants is CONSTANTS(p): the formals and globals with constant
+	// entry values, sorted by name.
+	Constants []NamedConstant
+
+	// Substituted counts the textual references to members of
+	// CONSTANTS(p) that the transformer replaces with literals — the
+	// Metzger–Stroud metric the paper's tables report.
+	Substituted int
+
+	// ControlFlowSubstituted counts the subset of Substituted that sits
+	// in loop bounds, strides, or branch conditions — the references
+	// §4 says the study cared most about.
+	ControlFlowSubstituted int
+}
+
+// Result is the outcome of one analysis configuration over one program.
+type Result struct {
+	Config Config
+
+	// Prog is the analyzed IR (the DCE-transformed program for complete
+	// propagation).
+	Prog *ir.Program
+
+	// Procs maps procedure names to their results.
+	Procs map[string]*ProcResult
+
+	// TotalSubstituted is the program-wide substitution count (one cell
+	// of Table 2 / Table 3).
+	TotalSubstituted int
+
+	// TotalConstants is the number of (procedure, name) pairs in all
+	// CONSTANTS sets.
+	TotalConstants int
+
+	// TotalControlFlow is the program-wide count of substituted
+	// references that sit in loop bounds or branch conditions.
+	TotalControlFlow int
+
+	// SolverPasses counts procedure visits during stage 3.
+	SolverPasses int
+
+	// JFEvaluations counts jump-function evaluations during stage 3.
+	JFEvaluations int
+
+	// DCERounds counts complete-propagation rounds that found and
+	// removed dead code.
+	DCERounds int
+
+	// SiteVals records, for every call site, the jump-function values
+	// that flowed along that edge under the final VAL sets. The
+	// procedure-cloning extension partitions call sites by these
+	// vectors.
+	SiteVals map[*ir.Instr]*SiteValues
+
+	// JFShape tallies the forward jump functions by syntactic form —
+	// the data behind §3.1.5's observation that "the number of complex
+	// polynomial jump functions actually constructed is small" and that
+	// their support size approaches 1.
+	JFShape JFShapeStats
+}
+
+// JFShapeStats classifies constructed forward jump functions.
+type JFShapeStats struct {
+	Bottom      int // ⊥: nothing propagates along this binding
+	Constant    int // a known constant
+	PassThrough int // exactly one incoming formal or global
+	Polynomial  int // a genuine expression over ≥1 inputs
+
+	// SupportSum accumulates |support(J)| over non-constant, non-⊥
+	// jump functions; SupportSum / (PassThrough + Polynomial) is the
+	// paper's "|support| approaches 1" metric.
+	SupportSum int
+}
+
+// SiteValues is the evaluated jump-function vector of one call site:
+// one lattice value per callee formal and one per scalar global.
+type SiteValues struct {
+	Formals []lattice.Value
+	Globals []lattice.Value
+}
+
+// Analyze runs the configured interprocedural constant propagation over
+// an analyzed source program. Each invocation lowers a fresh IR, so a
+// single *sema.Program can be analyzed under many configurations.
+func Analyze(sp *sema.Program, cfg Config) *Result {
+	if cfg.MaxDCERounds == 0 {
+		cfg.MaxDCERounds = 10
+	}
+	irp := irbuild.Build(sp)
+	res := analyzeIR(irp, cfg)
+	if !cfg.Complete {
+		return res
+	}
+	for round := 0; round < cfg.MaxDCERounds; round++ {
+		next, changed := eliminateDeadCode(res)
+		if !changed {
+			break
+		}
+		// The paper resets every lattice value to ⊤ and propagates
+		// again from scratch on the cleaned program.
+		res = analyzeIR(next, cfg)
+		res.DCERounds = round + 1
+	}
+	return res
+}
+
+// AnalyzeIR runs one propagation over an already-lowered program. The
+// program must be fresh (pre-SSA); Analyze is the usual entry point.
+func AnalyzeIR(irp *ir.Program, cfg Config) *Result {
+	if cfg.MaxDCERounds == 0 {
+		cfg.MaxDCERounds = 10
+	}
+	return analyzeIR(irp, cfg)
+}
+
+// analyzeIR is stages 1–4 on one IR instance.
+func analyzeIR(irp *ir.Program, cfg Config) *Result {
+	pipe := newPipeline(irp, cfg)
+	pipe.buildSSA()
+	pipe.stage1ReturnJFs()
+	pipe.stage2ForwardJFs()
+	if cfg.DependenceSolver {
+		pipe.stage3PropagateDependence()
+	} else {
+		pipe.stage3Propagate()
+	}
+	return pipe.stage4Record()
+}
+
+// pipeline carries the per-run state between stages.
+type pipeline struct {
+	cfg  Config
+	prog *ir.Program
+	cg   *callgraph.Graph
+	mods *modref.Summary
+
+	oracle      ir.ModOracle
+	globalIndex map[*ir.GlobalVar]int
+
+	retJFs *jump.Store
+	vns    map[*ir.Proc]*valnum.Result
+	sites  map[*ir.Instr]*jump.Site
+
+	vals         *vals
+	solverPasses int
+	jfEvals      int
+	jfShape      JFShapeStats
+}
+
+func newPipeline(irp *ir.Program, cfg Config) *pipeline {
+	p := &pipeline{
+		cfg:         cfg,
+		prog:        irp,
+		cg:          callgraph.Build(irp),
+		globalIndex: make(map[*ir.GlobalVar]int, len(irp.ScalarGlobals)),
+		vns:         make(map[*ir.Proc]*valnum.Result, len(irp.Procs)),
+		sites:       make(map[*ir.Instr]*jump.Site),
+	}
+	for i, g := range irp.ScalarGlobals {
+		p.globalIndex[g] = i
+	}
+	p.mods = modref.Compute(irp, p.cg)
+	p.oracle = ir.WorstCase
+	if cfg.MOD {
+		p.oracle = p.mods.Oracle()
+	}
+	return p
+}
+
+func (p *pipeline) buildSSA() {
+	for _, proc := range p.prog.Procs {
+		proc.BuildSSA(p.oracle)
+	}
+}
+
+// stage1ReturnJFs value-numbers every procedure bottom-up over the call
+// graph, building return jump functions as it goes so callers see their
+// callees' summaries (§4.1, "Generating return jump functions").
+// Procedures in call-graph cycles get no return jump functions (⊥).
+func (p *pipeline) stage1ReturnJFs() {
+	p.retJFs = jump.NewStore(p.prog)
+	var re valnum.ReturnEval
+	if p.cfg.ReturnJFs {
+		re = p.retJFs
+	}
+	for _, n := range p.cg.BottomUp() {
+		vn := valnum.Analyze(n.Proc, re)
+		p.vns[n.Proc] = vn
+		if p.cfg.ReturnJFs && !p.cg.InCycle(n) {
+			p.retJFs.Set(n.Proc, p.buildReturns(n.Proc, vn))
+		}
+	}
+}
+
+// buildReturns derives a procedure's return jump functions from the
+// value-numbered expressions of its Ret operands: the exit value of each
+// binding must agree (be congruent) across every RETURN and be a closed
+// polynomial over the procedure's entry values.
+func (p *pipeline) buildReturns(proc *ir.Proc, vn *valnum.Result) *jump.Returns {
+	r := &jump.Returns{
+		Formal: make([]sym.Expr, len(proc.Formals)),
+		Global: make(map[*ir.GlobalVar]sym.Expr),
+	}
+	var rets []*ir.Instr
+	for _, b := range proc.Blocks {
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			rets = append(rets, t)
+		}
+	}
+	if len(rets) == 0 {
+		return r // procedure never returns: all ⊥
+	}
+	for pos, v := range proc.RetVars {
+		var acc sym.Expr
+		ok := true
+		for ri, ret := range rets {
+			e := vn.OperandExpr(ret.Args[pos])
+			if e == nil {
+				ok = false
+				break
+			}
+			if ri == 0 {
+				acc = e
+				continue
+			}
+			if !sym.Equal(acc, e) {
+				ok = false
+				break
+			}
+		}
+		if !ok || acc == nil || !sym.IsClosed(acc) {
+			continue
+		}
+		// Return jump functions over entry values (identity and
+		// polynomial forms) assert which bindings the procedure leaves
+		// unmodified — that assertion *is* MOD information. In the
+		// no-MOD configuration (Table 3, column 1) only constant-valued
+		// return jump functions are available.
+		if !p.cfg.MOD {
+			if _, isConst := acc.(*sym.Const); !isConst {
+				continue
+			}
+		}
+		switch v.Kind {
+		case ir.ResultVar:
+			r.Result = acc
+		case ir.FormalVar:
+			r.Formal[v.Index] = acc
+		case ir.GlobalRefVar:
+			r.Global[v.Global] = acc
+		}
+	}
+	return r
+}
+
+// stage2ForwardJFs builds the configured flavor of forward jump function
+// for every actual parameter and every implicit global at every call
+// site, reusing the stage-1 value numbering (valid because return jump
+// functions are final once stage 1 completes).
+func (p *pipeline) stage2ForwardJFs() {
+	for _, n := range p.cg.TopDown() {
+		vn := p.vns[n.Proc]
+		for _, call := range n.Sites {
+			site := &jump.Site{
+				Call:   call,
+				Formal: make([]sym.Expr, len(call.Callee.Formals)),
+				Global: make([]sym.Expr, len(p.prog.ScalarGlobals)),
+			}
+			for i := 0; i < call.NumActuals && i < len(call.Callee.Formals); i++ {
+				if call.Callee.Formals[i].Type.IsArray() {
+					continue // arrays carry no constants
+				}
+				raw := vn.OperandExpr(call.Args[i])
+				site.Formal[i] = jump.Filter(p.cfg.Jump, call.Args[i], raw)
+				p.classifyJF(site.Formal[i])
+			}
+			for k := range p.prog.ScalarGlobals {
+				a := call.NumActuals + k
+				if a >= len(call.Args) {
+					break
+				}
+				raw := vn.OperandExpr(call.Args[a])
+				site.Global[k] = jump.Filter(p.cfg.Jump, call.Args[a], raw)
+				p.classifyJF(site.Global[k])
+			}
+			p.sites[call] = site
+		}
+	}
+}
+
+// classifyJF tallies one constructed forward jump function by form.
+func (p *pipeline) classifyJF(e sym.Expr) {
+	switch e := e.(type) {
+	case nil:
+		p.jfShape.Bottom++
+	case *sym.Const:
+		p.jfShape.Constant++
+	case *sym.Formal, *sym.GlobalEntry:
+		p.jfShape.PassThrough++
+		p.jfShape.SupportSum++
+	default:
+		p.jfShape.Polynomial++
+		leaves, _ := sym.Support(e)
+		p.jfShape.SupportSum += len(leaves)
+	}
+}
+
+// stage4Record assembles the CONSTANTS sets and the substitution counts.
+func (p *pipeline) stage4Record() *Result {
+	res := &Result{
+		Config:        p.cfg,
+		Prog:          p.prog,
+		Procs:         make(map[string]*ProcResult, len(p.prog.Procs)),
+		SolverPasses:  p.solverPasses,
+		JFEvaluations: p.jfEvals,
+		SiteVals:      make(map[*ir.Instr]*SiteValues, len(p.sites)),
+		JFShape:       p.jfShape,
+	}
+	// Per-site jump-function values under the final VAL sets, for the
+	// cloning extension.
+	reach := p.cg.ReachableFromMain()
+	for _, n := range p.cg.TopDown() {
+		if !reach[n.Proc] {
+			continue
+		}
+		env := procEnv{p: p, at: n.Proc}
+		for _, call := range n.Sites {
+			site := p.sites[call]
+			if site == nil {
+				continue
+			}
+			sv := &SiteValues{
+				Formals: make([]lattice.Value, len(site.Formal)),
+				Globals: make([]lattice.Value, len(site.Global)),
+			}
+			for i, e := range site.Formal {
+				sv.Formals[i] = sym.Eval(e, env)
+			}
+			for k, e := range site.Global {
+				sv.Globals[k] = sym.Eval(e, env)
+			}
+			res.SiteVals[call] = sv
+		}
+	}
+	for _, proc := range p.prog.Procs {
+		pr := &ProcResult{
+			Name:       proc.Name,
+			FormalVals: p.vals.formals[proc],
+			GlobalVals: p.vals.globals[proc],
+		}
+		for i, f := range proc.Formals {
+			if c, ok := pr.FormalVals[i].IntConst(); ok {
+				pr.Constants = append(pr.Constants, NamedConstant{Name: f.Name, Value: c})
+			}
+		}
+		for k, g := range p.prog.ScalarGlobals {
+			if c, ok := pr.GlobalVals[k].IntConst(); ok {
+				pr.Constants = append(pr.Constants, NamedConstant{Name: g.String(), Global: true, Value: c})
+			}
+		}
+		sort.Slice(pr.Constants, func(i, j int) bool { return pr.Constants[i].Name < pr.Constants[j].Name })
+		pr.Substituted, pr.ControlFlowSubstituted = p.countSubstitutions(proc)
+		res.Procs[proc.Name] = pr
+		res.TotalSubstituted += pr.Substituted
+		res.TotalControlFlow += pr.ControlFlowSubstituted
+		res.TotalConstants += len(pr.Constants)
+	}
+	return res
+}

@@ -1,0 +1,620 @@
+package core
+
+import (
+	"testing"
+
+	"ipcp/internal/core/jump"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+)
+
+func analyzeSrc(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	return Analyze(mustSema(t, src), cfg)
+}
+
+func mustSema(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return sp
+}
+
+// constVal returns the constant value of name in CONSTANTS(proc), or
+// (0, false).
+func constVal(res *Result, proc, name string) (int64, bool) {
+	pr := res.Procs[proc]
+	if pr == nil {
+		return 0, false
+	}
+	for _, c := range pr.Constants {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+func cfgAll(kind jump.Kind) Config {
+	return Config{Jump: kind, ReturnJFs: true, MOD: true}
+}
+
+// ---------------------------------------------------------------------------
+// Flavor-specific detection
+
+const literalSrc = `
+PROGRAM MAIN
+  CALL S(42)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`
+
+func TestLiteralJumpFunctionFindsLiterals(t *testing.T) {
+	for _, kind := range jump.Kinds {
+		res := analyzeSrc(t, literalSrc, cfgAll(kind))
+		if v, ok := constVal(res, "S", "N"); !ok || v != 42 {
+			t.Errorf("%v: N = %v,%v want 42", kind, v, ok)
+		}
+	}
+}
+
+const intraSrc = `
+PROGRAM MAIN
+  INTEGER K
+  K = 6*7
+  CALL S(K)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`
+
+func TestIntraproceduralConstantBeyondLiteral(t *testing.T) {
+	// The literal flavor misses a locally computed constant...
+	res := analyzeSrc(t, intraSrc, cfgAll(jump.Literal))
+	if _, ok := constVal(res, "S", "N"); ok {
+		t.Error("literal flavor should miss K = 6*7")
+	}
+	// ...every other flavor finds it.
+	for _, kind := range []jump.Kind{jump.Intraprocedural, jump.PassThrough, jump.Polynomial} {
+		res := analyzeSrc(t, intraSrc, cfgAll(kind))
+		if v, ok := constVal(res, "S", "N"); !ok || v != 42 {
+			t.Errorf("%v: N = %v,%v want 42", kind, v, ok)
+		}
+	}
+}
+
+const globalSrc = `
+PROGRAM MAIN
+  COMMON /C/ G
+  INTEGER G
+  G = 5
+  CALL S
+END
+SUBROUTINE S
+  COMMON /C/ G
+  INTEGER G, X
+  X = G
+  RETURN
+END
+`
+
+func TestConstantGlobalsMissedByLiteralFlavor(t *testing.T) {
+	// §3.1.1: the literal flavor "misses any constant globals which are
+	// passed implicitly at the call site".
+	res := analyzeSrc(t, globalSrc, cfgAll(jump.Literal))
+	if _, ok := constVal(res, "S", "C.G"); ok {
+		t.Error("literal flavor should miss the global")
+	}
+	res = analyzeSrc(t, globalSrc, cfgAll(jump.Intraprocedural))
+	if v, ok := constVal(res, "S", "C.G"); !ok || v != 5 {
+		t.Errorf("intraprocedural flavor: G = %v,%v want 5", v, ok)
+	}
+}
+
+const passThroughSrc = `
+PROGRAM MAIN
+  CALL A(7)
+END
+SUBROUTINE A(X)
+  INTEGER X
+  CALL B(X)
+  RETURN
+END
+SUBROUTINE B(Y)
+  INTEGER Y
+  CALL C(Y)
+  RETURN
+END
+SUBROUTINE C(Z)
+  INTEGER Z, W
+  W = Z
+  RETURN
+END
+`
+
+func TestPassThroughChains(t *testing.T) {
+	// Intraprocedural flavor propagates only one edge deep: X is 7 in A
+	// but nothing flows to B or C.
+	res := analyzeSrc(t, passThroughSrc, cfgAll(jump.Intraprocedural))
+	if v, ok := constVal(res, "A", "X"); !ok || v != 7 {
+		t.Fatalf("A.X = %v,%v", v, ok)
+	}
+	if _, ok := constVal(res, "C", "Z"); ok {
+		t.Error("intraprocedural flavor should not reach C")
+	}
+	// Pass-through (and polynomial) carry it all the way down.
+	for _, kind := range []jump.Kind{jump.PassThrough, jump.Polynomial} {
+		res := analyzeSrc(t, passThroughSrc, cfgAll(kind))
+		if v, ok := constVal(res, "C", "Z"); !ok || v != 7 {
+			t.Errorf("%v: C.Z = %v,%v want 7", kind, v, ok)
+		}
+	}
+}
+
+const polynomialSrc = `
+PROGRAM MAIN
+  CALL A(10)
+END
+SUBROUTINE A(X)
+  INTEGER X
+  CALL B(2*X + 1)
+  RETURN
+END
+SUBROUTINE B(Y)
+  INTEGER Y, W
+  W = Y
+  RETURN
+END
+`
+
+func TestPolynomialBeyondPassThrough(t *testing.T) {
+	res := analyzeSrc(t, polynomialSrc, cfgAll(jump.PassThrough))
+	if _, ok := constVal(res, "B", "Y"); ok {
+		t.Error("pass-through flavor should miss 2*X+1")
+	}
+	res = analyzeSrc(t, polynomialSrc, cfgAll(jump.Polynomial))
+	if v, ok := constVal(res, "B", "Y"); !ok || v != 21 {
+		t.Errorf("polynomial: Y = %v,%v want 21", v, ok)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Meet behavior
+
+func TestConflictingCallSitesMeetToBottom(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  CALL S(1)
+  CALL S(2)
+  CALL T(3)
+  CALL T(3)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+SUBROUTINE T(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	if _, ok := constVal(res, "S", "N"); ok {
+		t.Error("S.N receives 1 and 2: not constant")
+	}
+	if v, ok := constVal(res, "T", "N"); !ok || v != 3 {
+		t.Errorf("T.N = %v,%v want 3", v, ok)
+	}
+}
+
+func TestNeverCalledProcedureStaysTop(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER X
+  X = 0
+END
+SUBROUTINE DEADPROC(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	pr := res.Procs["DEADPROC"]
+	if !pr.FormalVals[0].IsTop() {
+		t.Errorf("never-called formal should stay ⊤, got %v", pr.FormalVals[0])
+	}
+	if len(pr.Constants) != 0 {
+		t.Errorf("⊤ values are not constants: %v", pr.Constants)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Return jump functions
+
+// oceanSrc models the paper's ocean result: an initialization routine
+// assigns constants to COMMON variables; with return jump functions the
+// analyzer knows the globals' values after the CALL INIT site and
+// propagates them to the rest of the program.
+const oceanSrc = `
+PROGRAM MAIN
+  COMMON /STATE/ NX, NY, NITER
+  INTEGER NX, NY, NITER
+  CALL INIT
+  CALL SOLVE
+END
+SUBROUTINE INIT
+  COMMON /STATE/ NX, NY, NITER
+  INTEGER NX, NY, NITER
+  NX = 64
+  NY = 32
+  NITER = 100
+  RETURN
+END
+SUBROUTINE SOLVE
+  COMMON /STATE/ NX, NY, NITER
+  INTEGER NX, NY, NITER
+  INTEGER I, J, S
+  S = 0
+  DO I = 1, NX
+    DO J = 1, NY
+      S = S + I*J
+    ENDDO
+  ENDDO
+  WRITE(*,*) S
+  RETURN
+END
+`
+
+func TestReturnJumpFunctionsInitRoutine(t *testing.T) {
+	with := analyzeSrc(t, oceanSrc, Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true})
+	if v, ok := constVal(with, "SOLVE", "STATE.NX"); !ok || v != 64 {
+		t.Fatalf("with return JFs: SOLVE sees NX = %v,%v want 64", v, ok)
+	}
+	if v, ok := constVal(with, "SOLVE", "STATE.NITER"); !ok || v != 100 {
+		t.Fatalf("with return JFs: NITER = %v,%v", v, ok)
+	}
+
+	without := analyzeSrc(t, oceanSrc, Config{Jump: jump.Polynomial, ReturnJFs: false, MOD: true})
+	if _, ok := constVal(without, "SOLVE", "STATE.NX"); ok {
+		t.Fatal("without return JFs the INIT effect is invisible")
+	}
+	if without.TotalSubstituted >= with.TotalSubstituted {
+		t.Errorf("return JFs should increase substitutions: %d vs %d",
+			without.TotalSubstituted, with.TotalSubstituted)
+	}
+}
+
+func TestReturnJFThroughFunctionResult(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER X
+  X = SEVEN(0)
+  CALL S(X)
+END
+INTEGER FUNCTION SEVEN(D)
+  INTEGER D
+  SEVEN = 7
+  RETURN
+END
+SUBROUTINE S(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	if v, ok := constVal(res, "S", "N"); !ok || v != 7 {
+		t.Errorf("function-result return JF: N = %v,%v want 7", v, ok)
+	}
+}
+
+func TestReturnJFDependingOnCallerParamIsBottom(t *testing.T) {
+	// §3.2: "return jump functions that depend on parameters to the
+	// calling procedure can never be evaluated as constant."
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER X
+  READ X
+  CALL MID(X)
+END
+SUBROUTINE MID(P)
+  INTEGER P, Y
+  Y = 0
+  CALL SETTER(Y, P)
+  CALL SINK(Y)
+  RETURN
+END
+SUBROUTINE SETTER(OUT, V)
+  INTEGER OUT, V
+  OUT = V
+  RETURN
+END
+SUBROUTINE SINK(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	// Y after SETTER is R(OUT) = V = P (a caller parameter): unknown,
+	// even though P itself flows around; SINK.N must not be constant.
+	if _, ok := constVal(res, "SINK", "N"); ok {
+		t.Error("return JF over caller parameter must evaluate to ⊥")
+	}
+}
+
+func TestReturnJFConstantArgument(t *testing.T) {
+	// But when the actual is an intraprocedural constant, the same
+	// return jump function folds.
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER Y
+  Y = 0
+  CALL SETTER(Y, 9)
+  CALL SINK(Y)
+END
+SUBROUTINE SETTER(OUT, V)
+  INTEGER OUT, V
+  OUT = V
+  RETURN
+END
+SUBROUTINE SINK(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	if v, ok := constVal(res, "SINK", "N"); !ok || v != 9 {
+		t.Errorf("SINK.N = %v,%v want 9", v, ok)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MOD information (Table 3, columns 1 vs 2)
+
+const modSrc = `
+PROGRAM MAIN
+  COMMON /C/ G
+  INTEGER G, K
+  G = 5
+  K = 3
+  CALL NOP(K)
+  CALL USER
+END
+SUBROUTINE NOP(T)
+  INTEGER T, L
+  L = T
+  RETURN
+END
+SUBROUTINE USER
+  COMMON /C/ G
+  INTEGER G, X
+  X = G
+  RETURN
+END
+`
+
+func TestMODInformationMatters(t *testing.T) {
+	with := analyzeSrc(t, modSrc, Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true})
+	if v, ok := constVal(with, "USER", "C.G"); !ok || v != 5 {
+		t.Fatalf("with MOD: G = %v,%v want 5", v, ok)
+	}
+	// Without MOD, the CALL NOP(K) clobbers G from the analyzer's view
+	// — but the return jump function of NOP (identity on G) rescues it.
+	// Remove return JFs too to see the raw effect.
+	without := analyzeSrc(t, modSrc, Config{Jump: jump.Polynomial, ReturnJFs: false, MOD: false})
+	if _, ok := constVal(without, "USER", "C.G"); ok {
+		t.Fatal("without MOD or return JFs, the call kills G")
+	}
+	if without.TotalSubstituted >= with.TotalSubstituted {
+		t.Errorf("MOD should increase substitutions: %d vs %d",
+			without.TotalSubstituted, with.TotalSubstituted)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Complete propagation (Table 3, column 3)
+
+// completeSrc models the paper's mechanism: DBG is an interprocedural
+// constant 0; the guarded READ of G is dead; removing it makes G's
+// return jump function in INIT constant, exposing G = 5 to USER.
+const completeSrc = `
+PROGRAM MAIN
+  COMMON /C/ G
+  INTEGER G
+  CALL INIT(0)
+  CALL USER
+END
+SUBROUTINE INIT(DBG)
+  INTEGER DBG
+  COMMON /C/ G
+  INTEGER G
+  G = 5
+  IF (DBG .NE. 0) THEN
+    READ G
+  ENDIF
+  RETURN
+END
+SUBROUTINE USER
+  COMMON /C/ G
+  INTEGER G, X, Y
+  X = G
+  Y = G + G*2
+  RETURN
+END
+`
+
+func TestCompletePropagationExposesConstants(t *testing.T) {
+	plain := analyzeSrc(t, completeSrc, Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true})
+	if _, ok := constVal(plain, "USER", "C.G"); ok {
+		t.Fatal("plain propagation should not see through the guarded READ")
+	}
+	complete := analyzeSrc(t, completeSrc, Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true, Complete: true})
+	if v, ok := constVal(complete, "USER", "C.G"); !ok || v != 5 {
+		t.Fatalf("complete propagation: G = %v,%v want 5", v, ok)
+	}
+	if complete.DCERounds != 1 {
+		t.Errorf("DCE rounds = %d, want 1 (paper: one pass suffices)", complete.DCERounds)
+	}
+	if complete.TotalSubstituted <= plain.TotalSubstituted {
+		t.Errorf("complete should add substitutions: %d vs %d",
+			complete.TotalSubstituted, plain.TotalSubstituted)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The subset property (§3.1): each flavor finds at least what the
+// simpler flavors find, on every program in this file.
+
+func TestFlavorSubsetProperty(t *testing.T) {
+	srcs := map[string]string{
+		"literal": literalSrc, "intra": intraSrc, "global": globalSrc,
+		"passthrough": passThroughSrc, "polynomial": polynomialSrc,
+		"ocean": oceanSrc, "mod": modSrc, "complete": completeSrc,
+	}
+	order := []jump.Kind{jump.Literal, jump.Intraprocedural, jump.PassThrough, jump.Polynomial}
+	for name, src := range srcs {
+		prev := -1
+		for _, kind := range order {
+			res := analyzeSrc(t, src, cfgAll(kind))
+			if res.TotalSubstituted < prev {
+				t.Errorf("%s: %v finds fewer substitutions than a simpler flavor (%d < %d)",
+					name, kind, res.TotalSubstituted, prev)
+			}
+			prev = res.TotalSubstituted
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substitution counting
+
+func TestSubstitutionCountsReferences(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  CALL S(4)
+END
+SUBROUTINE S(N)
+  INTEGER N, A, B, C
+  A = N + 1
+  B = N * N
+  C = 7
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	// N is referenced three times (N+1 once, N*N twice).
+	if got := res.Procs["S"].Substituted; got != 3 {
+		t.Errorf("substitutions = %d, want 3", got)
+	}
+}
+
+func TestKnownButIrrelevantCountsZero(t *testing.T) {
+	// Metzger–Stroud: constants that are known but never referenced
+	// count zero.
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  COMMON /C/ G
+  INTEGER G
+  G = 5
+  CALL S(1)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	pr := res.Procs["S"]
+	// G is in CONSTANTS(S) but unreferenced.
+	if _, ok := constVal(res, "S", "C.G"); !ok {
+		t.Fatal("G should be a known constant in S")
+	}
+	// Only the N reference counts.
+	if pr.Substituted != 1 {
+		t.Errorf("substitutions = %d, want 1", pr.Substituted)
+	}
+}
+
+func TestByRefModifiedActualNotSubstituted(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  CALL OUTER(3)
+END
+SUBROUTINE OUTER(N)
+  INTEGER N, X
+  X = N
+  CALL CLOBBER(N)
+  RETURN
+END
+SUBROUTINE CLOBBER(A)
+  INTEGER A
+  READ A
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	// N = 3 on entry to OUTER; the X = N reference substitutes, but the
+	// by-reference actual at CALL CLOBBER(N) cannot (CLOBBER writes A).
+	if got := res.Procs["OUTER"].Substituted; got != 1 {
+		t.Errorf("substitutions = %d, want 1", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Robustness
+
+func TestRecursionIsSound(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER R
+  R = FACT(5)
+  WRITE(*,*) R
+END
+INTEGER FUNCTION FACT(N)
+  INTEGER N
+  IF (N .LE. 1) THEN
+    FACT = 1
+  ELSE
+    FACT = N * FACT(N-1)
+  ENDIF
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	// N is 5 at the outer call but N-1 varies: the meet is ⊥. The
+	// analysis must terminate and stay sound.
+	if _, ok := constVal(res, "FACT", "N"); ok {
+		t.Error("recursive N is not constant")
+	}
+}
+
+func TestSolverConvergesQuickly(t *testing.T) {
+	res := analyzeSrc(t, passThroughSrc, cfgAll(jump.PassThrough))
+	// 4 procedures; the worklist should settle in a handful of passes.
+	if res.SolverPasses > 12 {
+		t.Errorf("solver passes = %d, suspiciously many", res.SolverPasses)
+	}
+	if res.JFEvaluations == 0 {
+		t.Error("no JF evaluations recorded")
+	}
+}
+
+func TestAnalyzeIsRepeatable(t *testing.T) {
+	sp := mustSema(t, oceanSrc)
+	a := Analyze(sp, cfgAll(jump.Polynomial))
+	b := Analyze(sp, cfgAll(jump.Polynomial))
+	if a.TotalSubstituted != b.TotalSubstituted || a.TotalConstants != b.TotalConstants {
+		t.Errorf("nondeterministic results: %d/%d vs %d/%d",
+			a.TotalSubstituted, a.TotalConstants, b.TotalSubstituted, b.TotalConstants)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"ipcp/internal/ir"
+)
+
+// countSubstitutions implements the paper's measurement (§4.1,
+// "Recording the results"): the analyzer substitutes the members of
+// CONSTANTS(p) textually into the procedure and counts the
+// substitutions. Metzger & Stroud argue this metric relates directly to
+// code improvement and factors out procedure length — a known but
+// unreferenced constant counts zero.
+//
+// A reference is substituted when:
+//
+//   - it is a textual operand (not a synthetic call/ret/loop-control
+//     use, and not a phi argument — phis are not source text);
+//   - it reads the *entry* value of a constant formal or global (uses
+//     reached by a redefinition keep the variable reference);
+//   - it is not a by-reference actual whose formal the callee may
+//     modify (replacing such a reference with a literal would change
+//     the program, so the transformer leaves it).
+func (p *pipeline) countSubstitutions(proc *ir.Proc) (count, controlFlow int) {
+	constEntry := p.constEntryValues(proc)
+	if len(constEntry) == 0 {
+		return 0, 0
+	}
+	for _, b := range proc.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpPhi {
+				continue
+			}
+			for a := range i.Args {
+				op := &i.Args[a]
+				if op.Synthetic || op.Val == nil {
+					continue
+				}
+				if !constEntry[op.Val] {
+					continue
+				}
+				if i.Op == ir.OpCall && a < i.NumActuals && isByRefModified(p.oracle, i, a) {
+					continue
+				}
+				count++
+				// §4's motivation: constants that determine control
+				// flow (loop bounds, strides, branch conditions) are
+				// the ones that pay off in dependence analysis and
+				// parallelization decisions.
+				if i.Role != ir.RoleNone {
+					controlFlow++
+				}
+			}
+		}
+	}
+	return count, controlFlow
+}
+
+// constEntryValues returns the set of entry SSA values whose formal or
+// global has a constant VAL.
+func (p *pipeline) constEntryValues(proc *ir.Proc) map[*ir.Value]bool {
+	set := make(map[*ir.Value]bool)
+	fv := p.vals.formals[proc]
+	for i, f := range proc.Formals {
+		if _, ok := fv[i].IntConst(); !ok {
+			continue
+		}
+		if ev := proc.EntryValues[f]; ev != nil {
+			set[ev] = true
+		}
+	}
+	gv := p.vals.globals[proc]
+	for k, gvar := range proc.GlobalVars {
+		if _, ok := gv[k].IntConst(); !ok {
+			continue
+		}
+		if ev := proc.EntryValues[gvar]; ev != nil {
+			set[ev] = true
+		}
+	}
+	return set
+}
+
+// isByRefModified reports whether actual a of the call is a bare
+// variable bound to a formal the callee may modify (per the active MOD
+// oracle).
+func isByRefModified(oracle ir.ModOracle, call *ir.Instr, a int) bool {
+	op := call.Args[a]
+	if op.Const != nil || op.Var == nil || op.Var.Kind == ir.TempVar || op.Var.Type.IsArray() {
+		return false
+	}
+	if a < len(call.Callee.Formals) && call.Callee.Formals[a].Type.IsArray() {
+		return false
+	}
+	return oracle.ModifiesFormal(call.Callee, a)
+}

@@ -1,0 +1,125 @@
+// Package lattice implements the constant propagation lattice of
+// Figure 1 of the paper: ⊤ (top), constants, and ⊥ (bottom), with the
+// meet operator
+//
+//	any ∧ ⊤  = any
+//	any ∧ ⊥  = ⊥
+//	ci  ∧ cj = ci   if ci = cj
+//	ci  ∧ cj = ⊥    if ci ≠ cj
+//
+// The lattice is infinite but has bounded depth: a value can be lowered
+// at most twice (⊤ → constant → ⊥), which is what makes the
+// interprocedural propagation fast.
+//
+// Constants are typed ir.Const values; the interprocedural propagator
+// only ever injects integers (the paper propagates integer constants
+// only), but the intraprocedural SCCP also tracks LOGICAL constants so
+// it can decide branches.
+package lattice
+
+import (
+	"fmt"
+
+	"ipcp/internal/ir"
+)
+
+type kind uint8
+
+const (
+	top kind = iota
+	constant
+	bottom
+)
+
+// Value is a lattice element.
+type Value struct {
+	k kind
+	c *ir.Const
+}
+
+// Top is the optimistic initial element ⊤.
+var Top = Value{k: top}
+
+// Bottom is the pessimistic element ⊥ ("not a constant").
+var Bottom = Value{k: bottom}
+
+// Of returns the lattice element for a constant.
+func Of(c *ir.Const) Value {
+	if c == nil {
+		return Bottom
+	}
+	return Value{k: constant, c: c}
+}
+
+// OfInt returns the lattice element for an integer constant.
+func OfInt(v int64) Value { return Of(ir.IntConst(v)) }
+
+// OfBool returns the lattice element for a logical constant.
+func OfBool(v bool) Value { return Of(ir.BoolConst(v)) }
+
+// IsTop reports whether v is ⊤.
+func (v Value) IsTop() bool { return v.k == top }
+
+// IsBottom reports whether v is ⊥.
+func (v Value) IsBottom() bool { return v.k == bottom }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return v.k == constant }
+
+// Const returns the constant of a constant element (nil otherwise).
+func (v Value) Const() *ir.Const {
+	if v.k != constant {
+		return nil
+	}
+	return v.c
+}
+
+// IntConst returns the integer value when v is an integer constant.
+func (v Value) IntConst() (int64, bool) {
+	if v.k == constant && v.c.Type == ir.Int {
+		return v.c.Int, true
+	}
+	return 0, false
+}
+
+// Meet returns v ∧ w per Figure 1.
+func Meet(v, w Value) Value {
+	switch {
+	case v.k == top:
+		return w
+	case w.k == top:
+		return v
+	case v.k == bottom || w.k == bottom:
+		return Bottom
+	case v.c.Equal(w.c):
+		return v
+	default:
+		return Bottom
+	}
+}
+
+// Equal reports whether two lattice elements are identical.
+func (v Value) Equal(w Value) bool {
+	if v.k != w.k {
+		return false
+	}
+	if v.k != constant {
+		return true
+	}
+	return v.c.Equal(w.c)
+}
+
+// Leq reports whether v ⊑ w in the lattice order (⊥ ⊑ c ⊑ ⊤).
+func (v Value) Leq(w Value) bool { return Meet(v, w).Equal(v) }
+
+// String renders ⊤ as "T", ⊥ as "_|_", and constants as their value.
+func (v Value) String() string {
+	switch v.k {
+	case top:
+		return "T"
+	case bottom:
+		return "_|_"
+	default:
+		return fmt.Sprintf("%v", v.c)
+	}
+}

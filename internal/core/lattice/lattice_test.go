@@ -1,0 +1,136 @@
+package lattice
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/ir"
+)
+
+// Generate makes Value satisfy quick.Generator, producing a mix of ⊤, ⊥,
+// integer constants (from a small pool so collisions happen), and
+// logical constants.
+func (Value) Generate(r *rand.Rand, _ int) reflect.Value {
+	var v Value
+	switch r.Intn(5) {
+	case 0:
+		v = Top
+	case 1:
+		v = Bottom
+	case 2:
+		v = OfBool(r.Intn(2) == 0)
+	default:
+		v = OfInt(int64(r.Intn(4)))
+	}
+	return reflect.ValueOf(v)
+}
+
+func TestMeetTable(t *testing.T) {
+	c1, c2 := OfInt(1), OfInt(2)
+	cases := []struct{ a, b, want Value }{
+		{Top, Top, Top},
+		{Top, c1, c1},
+		{c1, Top, c1},
+		{Top, Bottom, Bottom},
+		{Bottom, c1, Bottom},
+		{c1, c1, c1},
+		{c1, c2, Bottom},
+		{Bottom, Bottom, Bottom},
+	}
+	for _, tc := range cases {
+		if got := Meet(tc.a, tc.b); !got.Equal(tc.want) {
+			t.Errorf("Meet(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMeetDistinguishesTypes(t *testing.T) {
+	// An integer 1 and a logical .TRUE. are different constants.
+	if got := Meet(OfInt(1), OfBool(true)); !got.IsBottom() {
+		t.Errorf("Meet(int 1, bool true) = %v, want bottom", got)
+	}
+}
+
+func TestMeetCommutative(t *testing.T) {
+	f := func(a, b Value) bool { return Meet(a, b).Equal(Meet(b, a)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetAssociative(t *testing.T) {
+	f := func(a, b, c Value) bool {
+		return Meet(Meet(a, b), c).Equal(Meet(a, Meet(b, c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetIdempotent(t *testing.T) {
+	f := func(a Value) bool { return Meet(a, a).Equal(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetIsLowerBound(t *testing.T) {
+	f := func(a, b Value) bool {
+		m := Meet(a, b)
+		return m.Leq(a) && m.Leq(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The lattice has bounded depth: any chain of strict lowerings from ⊤
+// has length at most 2 (⊤ → c → ⊥), the property the paper's complexity
+// arguments rest on.
+func TestBoundedDepth(t *testing.T) {
+	f := func(vals []Value) bool {
+		cur := Top
+		lowerings := 0
+		for _, v := range vals {
+			next := Meet(cur, v)
+			if !next.Equal(cur) {
+				lowerings++
+			}
+			cur = next
+		}
+		return lowerings <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	v := OfInt(7)
+	if !v.IsConst() || v.IsTop() || v.IsBottom() {
+		t.Error("OfInt(7) kind wrong")
+	}
+	if c, ok := v.IntConst(); !ok || c != 7 {
+		t.Errorf("IntConst: %d %v", c, ok)
+	}
+	if _, ok := OfBool(true).IntConst(); ok {
+		t.Error("bool constant should not be an int constant")
+	}
+	if Of(nil) != Bottom {
+		t.Error("Of(nil) should be bottom")
+	}
+	if Top.Const() != nil || Bottom.Const() != nil {
+		t.Error("Const() of non-constants should be nil")
+	}
+	if c := Of(ir.RealConst(1.5)).Const(); c == nil || c.Real != 1.5 {
+		t.Error("real constants should round-trip")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Top.String() != "T" || Bottom.String() != "_|_" || OfInt(3).String() != "3" {
+		t.Errorf("strings: %q %q %q", Top, Bottom, OfInt(3))
+	}
+}

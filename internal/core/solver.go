@@ -1,0 +1,125 @@
+package core
+
+import (
+	"ipcp/internal/core/lattice"
+	"ipcp/internal/ir"
+	"ipcp/internal/sym"
+)
+
+// vals holds the VAL sets of stage 3: the best current approximation of
+// every formal's and every global's value on entry to each procedure.
+type vals struct {
+	formals map[*ir.Proc][]lattice.Value
+	globals map[*ir.Proc][]lattice.Value // parallel Program.ScalarGlobals
+}
+
+// procEnv adapts one procedure's VAL set to sym.Env for jump-function
+// evaluation.
+type procEnv struct {
+	p  *pipeline
+	at *ir.Proc
+}
+
+func (e procEnv) FormalValue(i int) lattice.Value {
+	f := e.p.vals.formals[e.at]
+	if i < 0 || i >= len(f) {
+		return lattice.Bottom
+	}
+	return f[i]
+}
+
+func (e procEnv) GlobalValue(g *ir.GlobalVar) lattice.Value {
+	gi, ok := e.p.globalIndex[g]
+	if !ok {
+		return lattice.Bottom
+	}
+	return e.p.vals.globals[e.at][gi]
+}
+
+// stage3Propagate runs the iterative worklist propagation of §4.1: meet
+// the jump-function values flowing along every call edge into the
+// callee's VAL set, re-evaluating the jump functions of a procedure
+// whenever its own VAL set lowers, until a fixed point.
+//
+// This is the "simple worklist iterative scheme" the paper used; the
+// bounded lattice depth guarantees each VAL entry lowers at most twice,
+// so termination is immediate.
+func (p *pipeline) stage3Propagate() {
+	p.initVals()
+	if p.prog.Main == nil {
+		return
+	}
+
+	// Every procedure reachable from main is visited at least once
+	// (its call sites must fire even when its own VAL set never
+	// lowers); procedures never called stay at ⊤ and their call sites
+	// never fire, preserving the paper's "⊤ only if never called".
+	reach := p.cg.ReachableFromMain()
+	var work []*ir.Proc
+	queued := make(map[*ir.Proc]bool, len(reach))
+	for _, proc := range p.prog.Procs {
+		if reach[proc] {
+			work = append(work, proc)
+			queued[proc] = true
+		}
+	}
+	for len(work) > 0 {
+		proc := work[0]
+		work = work[1:]
+		queued[proc] = false
+		p.solverPasses++
+
+		env := procEnv{p: p, at: proc}
+		for _, b := range proc.Blocks {
+			for _, call := range b.Instrs {
+				if call.Op != ir.OpCall {
+					continue
+				}
+				site := p.sites[call]
+				if site == nil {
+					continue
+				}
+				callee := call.Callee
+				changed := false
+				cf := p.vals.formals[callee]
+				for i := range site.Formal {
+					if i >= len(cf) || cf[i].IsBottom() {
+						continue
+					}
+					v := p.evalJF(site.Formal[i], env)
+					nv := lattice.Meet(cf[i], v)
+					if !nv.Equal(cf[i]) {
+						cf[i] = nv
+						changed = true
+					}
+				}
+				cg := p.vals.globals[callee]
+				for k := range site.Global {
+					if cg[k].IsBottom() {
+						continue
+					}
+					v := p.evalJF(site.Global[k], env)
+					nv := lattice.Meet(cg[k], v)
+					if !nv.Equal(cg[k]) {
+						cg[k] = nv
+						changed = true
+					}
+				}
+				if changed && !queued[callee] {
+					queued[callee] = true
+					work = append(work, callee)
+				}
+			}
+		}
+	}
+}
+
+// evalJF evaluates one jump function under the caller's VAL set. A nil
+// jump function is ⊥.
+func (p *pipeline) evalJF(jf sym.Expr, env sym.Env) lattice.Value {
+	p.jfEvals++
+	if jf == nil {
+		return lattice.Bottom
+	}
+	return sym.Eval(jf, env)
+}

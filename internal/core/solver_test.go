@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"ipcp/internal/core/jump"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+// A procedure with no formals and no globals never has its VAL set
+// lowered, but its call sites must still fire (regression: the original
+// worklist only enqueued procedures whose VAL sets changed).
+func TestSolverVisitsParameterlessProcedures(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  CALL MIDDLE
+END
+SUBROUTINE MIDDLE
+  CALL LEAF(9)
+  RETURN
+END
+SUBROUTINE LEAF(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	if v, ok := constVal(res, "LEAF", "N"); !ok || v != 9 {
+		t.Fatalf("LEAF.N = %v,%v want 9 (parameterless MIDDLE must be visited)", v, ok)
+	}
+}
+
+// Call sites inside procedures unreachable from main must not
+// contribute constants (the paper: ⊤ only if never called).
+func TestDeadCallSitesDoNotFire(t *testing.T) {
+	res := analyzeSrc(t, `
+PROGRAM MAIN
+  INTEGER X
+  X = 0
+END
+SUBROUTINE DEADCALLER
+  CALL VICTIM(5)
+  RETURN
+END
+SUBROUTINE VICTIM(N)
+  INTEGER N, W
+  W = N
+  RETURN
+END
+`, cfgAll(jump.Polynomial))
+	pr := res.Procs["VICTIM"]
+	if !pr.FormalVals[0].IsTop() {
+		t.Fatalf("VICTIM.N = %v, want ⊤ (only a dead caller passes it)", pr.FormalVals[0])
+	}
+}
+
+// The dependence-driven solver must compute exactly the same results as
+// the simple worklist on every benchmark program under every flavor.
+func TestDependenceSolverEquivalence(t *testing.T) {
+	for _, name := range suite.Names() {
+		src := suite.Generate(name, 2).Source
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sema.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range jump.Kinds {
+			simple := Analyze(sp, Config{Jump: kind, ReturnJFs: true, MOD: true})
+			dep := Analyze(sp, Config{Jump: kind, ReturnJFs: true, MOD: true, DependenceSolver: true})
+			if simple.TotalSubstituted != dep.TotalSubstituted ||
+				simple.TotalConstants != dep.TotalConstants {
+				t.Errorf("%s/%v: solver mismatch: simple %d/%d vs dependence %d/%d",
+					name, kind,
+					simple.TotalSubstituted, simple.TotalConstants,
+					dep.TotalSubstituted, dep.TotalConstants)
+			}
+			// Per-procedure agreement too.
+			for pname, spr := range simple.Procs {
+				dpr := dep.Procs[pname]
+				if len(spr.Constants) != len(dpr.Constants) {
+					t.Errorf("%s/%v/%s: constants differ: %v vs %v",
+						name, kind, pname, spr.Constants, dpr.Constants)
+					continue
+				}
+				for i := range spr.Constants {
+					if spr.Constants[i] != dpr.Constants[i] {
+						t.Errorf("%s/%v/%s: constant %d differs: %v vs %v",
+							name, kind, pname, i, spr.Constants[i], dpr.Constants[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The dependence-driven solver should evaluate each jump function a
+// bounded number of times: at most 1 + 2·|support| evaluations per
+// instance (each support member can lower at most twice). The simple
+// solver has no such per-instance bound.
+func TestDependenceSolverEvaluationBound(t *testing.T) {
+	for _, name := range []string{"ocean", "matrix300", "simple"} {
+		src := suite.Generate(name, 4).Source
+		f, _ := parser.Parse(src)
+		sp, _ := sema.Analyze(f)
+		dep := Analyze(sp, Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true, DependenceSolver: true})
+		// Instances ≈ evaluations at the seed; each can re-run at most
+		// twice per support member, and supports here have ≤ 2 leaves.
+		if dep.JFEvaluations > 5*dep.SolverPasses+5 {
+			t.Errorf("%s: dependence solver made %d evaluations over %d instance visits",
+				name, dep.JFEvaluations, dep.SolverPasses)
+		}
+	}
+}
+
+func TestDependenceSolverOnCoreScenarios(t *testing.T) {
+	for _, src := range []string{literalSrc, passThroughSrc, polynomialSrc, oceanSrc, modSrc} {
+		sp := mustSema(t, src)
+		for _, kind := range jump.Kinds {
+			a := Analyze(sp, Config{Jump: kind, ReturnJFs: true, MOD: true})
+			b := Analyze(sp, Config{Jump: kind, ReturnJFs: true, MOD: true, DependenceSolver: true})
+			if a.TotalSubstituted != b.TotalSubstituted {
+				t.Errorf("%v: %d vs %d", kind, a.TotalSubstituted, b.TotalSubstituted)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package interp
+
+import (
+	"testing"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+)
+
+// BenchmarkInterp measures raw interpretation speed on a loop-heavy
+// kernel (instructions per second is the meaningful figure).
+func BenchmarkInterp(b *testing.B) {
+	f, err := parser.Parse(`
+PROGRAM P
+  INTEGER I, J, S
+  S = 0
+  DO I = 1, 1000
+    DO J = 1, 100
+      S = S + MOD(I*J, 17)
+    ENDDO
+  ENDDO
+  WRITE(*,*) S
+END
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var prog *ir.Program
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog = irbuild.Build(sp)
+		b.StartTimer()
+		res := Run(prog, Options{Fuel: 10_000_000})
+		if res.Err != nil || res.FuelExhausted {
+			b.Fatalf("run failed: %v %v", res.Err, res.FuelExhausted)
+		}
+	}
+}

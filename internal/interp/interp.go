@@ -1,0 +1,222 @@
+// Package interp executes MiniFortran programs by interpreting the
+// pre-SSA IR directly. Its purpose is *differential validation of the
+// analyzer*: run a program, observe the actual value of every formal
+// parameter and global at every procedure entry, and check that each
+// member of a CONSTANTS(p) set really does hold that value on every
+// invocation — the soundness contract of §2 ("each pair in CONSTANTS(p)
+// denotes a run-time constant").
+//
+// Execution is deterministic: READ statements draw from a seeded
+// pseudo-input stream, WRITE output is collected, and a fuel counter
+// bounds runaway programs (a fuel-exhausted run still yields valid
+// observations for the invocations that completed entry).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ipcp/internal/ir"
+)
+
+// Options configures one execution.
+type Options struct {
+	// Fuel bounds the number of instructions executed (default 2e6).
+	Fuel int
+
+	// InputSeed seeds the READ stream (values in [-4, 99]).
+	InputSeed int64
+}
+
+// Observation records the values seen at one procedure's entries.
+type Observation struct {
+	// Calls counts the invocations of the procedure.
+	Calls int
+
+	// Formals[i] holds the meet-style summary of the i-th scalar
+	// formal across invocations; Globals likewise per scalar global
+	// (Program.ScalarGlobals order). A nil entry means the value was
+	// not an integer (REAL/LOGICAL formals are not tracked).
+	Formals []*Seen
+	Globals []*Seen
+}
+
+// Seen summarizes the integer values observed for one binding.
+type Seen struct {
+	Count    int
+	First    int64
+	AllEqual bool
+}
+
+func (s *Seen) observe(v int64) {
+	if s.Count == 0 {
+		s.First = v
+		s.AllEqual = true
+	} else if v != s.First {
+		s.AllEqual = false
+	}
+	s.Count++
+}
+
+// Result of one program execution.
+type Result struct {
+	// Observations per procedure.
+	Observations map[*ir.Proc]*Observation
+
+	// Output collects WRITE values (for smoke checks).
+	Output []int64
+
+	// Stopped reports whether the program ended via STOP.
+	Stopped bool
+
+	// FuelExhausted reports that execution was cut off; observations
+	// remain valid for everything that ran.
+	FuelExhausted bool
+
+	// Err holds a runtime error (division by zero, negative exponent),
+	// if any; observations up to the fault remain valid.
+	Err error
+}
+
+// cell is one scalar storage location. MiniFortran scalars are integer,
+// real, or logical; by-reference semantics pass *cell.
+type cell struct {
+	i int64
+	r float64
+	b bool
+}
+
+// frame is one procedure activation.
+type frame struct {
+	proc *ir.Proc
+	// vars maps every scalar Var to its cell; formals may alias caller
+	// cells (by-reference), globals alias program cells.
+	vars map[*ir.Var]*cell
+	// arrays maps array Vars to their backing storage; array formals
+	// alias caller arrays, array globals alias program storage.
+	arrays map[*ir.Var][]cell
+}
+
+type machine struct {
+	prog    *ir.Program
+	opts    Options
+	rng     *rand.Rand
+	fuel    int
+	res     *Result
+	globals []*cell // parallel ScalarGlobals
+	garrays map[*ir.GlobalVar][]cell
+}
+
+var errFuel = errors.New("interp: fuel exhausted")
+
+// Run executes the program from its main procedure.
+func Run(prog *ir.Program, opts Options) *Result {
+	if opts.Fuel == 0 {
+		opts.Fuel = 2_000_000
+	}
+	m := &machine{
+		prog:    prog,
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.InputSeed)),
+		fuel:    opts.Fuel,
+		res:     &Result{Observations: make(map[*ir.Proc]*Observation)},
+		garrays: make(map[*ir.GlobalVar][]cell),
+	}
+	for range prog.ScalarGlobals {
+		m.globals = append(m.globals, &cell{})
+	}
+	for _, g := range prog.Globals {
+		if g.Type.IsArray() {
+			m.garrays[g] = make([]cell, g.Size)
+		}
+	}
+	if prog.Main == nil {
+		m.res.Err = errors.New("interp: no main program")
+		return m.res
+	}
+	_, err := m.callWithResult(prog.Main, nil, nil)
+	switch {
+	case errors.Is(err, errFuel):
+		m.res.FuelExhausted = true
+	case err != nil && !errors.Is(err, errStop):
+		m.res.Err = err
+	}
+	return m.res
+}
+
+var errStop = errors.New("interp: STOP")
+
+// observeEntry records the entry values for the soundness check.
+func (m *machine) observeEntry(proc *ir.Proc, f *frame) {
+	obs := m.res.Observations[proc]
+	if obs == nil {
+		obs = &Observation{
+			Formals: make([]*Seen, len(proc.Formals)),
+			Globals: make([]*Seen, len(m.prog.ScalarGlobals)),
+		}
+		for i, v := range proc.Formals {
+			if v.Type == ir.Int {
+				obs.Formals[i] = &Seen{}
+			}
+		}
+		for k, g := range m.prog.ScalarGlobals {
+			if g.Type == ir.Int {
+				obs.Globals[k] = &Seen{}
+			}
+		}
+		m.res.Observations[proc] = obs
+	}
+	obs.Calls++
+	for i, v := range proc.Formals {
+		if obs.Formals[i] != nil {
+			obs.Formals[i].observe(f.vars[v].i)
+		}
+	}
+	for k := range m.prog.ScalarGlobals {
+		if obs.Globals[k] != nil {
+			obs.Globals[k].observe(m.globals[k].i)
+		}
+	}
+}
+
+// exec runs the frame's CFG until Ret/Stop.
+func (m *machine) exec(f *frame) error {
+	b := f.proc.Entry
+	for {
+		var next *ir.Block
+		for _, i := range b.Instrs {
+			m.fuel--
+			if m.fuel <= 0 {
+				return errFuel
+			}
+			switch i.Op {
+			case ir.OpJmp:
+				next = b.Succs[0]
+			case ir.OpBr:
+				v, err := m.operand(f, i.Args[0])
+				if err != nil {
+					return err
+				}
+				if v.b {
+					next = b.Succs[0]
+				} else {
+					next = b.Succs[1]
+				}
+			case ir.OpRet:
+				return nil
+			case ir.OpStop:
+				m.res.Stopped = true
+				return errStop
+			default:
+				if err := m.instr(f, i); err != nil {
+					return err
+				}
+			}
+		}
+		if next == nil {
+			return fmt.Errorf("interp: %s: block %v fell through", f.proc.Name, b)
+		}
+		b = next
+	}
+}

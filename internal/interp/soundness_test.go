@@ -1,0 +1,138 @@
+package interp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipcp/internal/core"
+	"ipcp/internal/core/jump"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+// TestAnalysisSoundAgainstExecution is the differential oracle for the
+// whole analyzer: for every benchmark, corpus, and random program, run
+// the program under the interpreter and check that every member of
+// every CONSTANTS(p) set matches the value actually observed at every
+// invocation of p — the soundness contract of §2.
+//
+// ⊤ entries are checked too: a procedure whose formal stayed ⊤ must
+// never have been called (the paper: "z retains the value ⊤ only if the
+// procedure containing z is never called").
+func TestAnalysisSoundAgainstExecution(t *testing.T) {
+	sources := map[string]string{}
+	for _, name := range suite.Names() {
+		sources["suite/"+name] = suite.Generate(name, 2).Source
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		p := suite.Random(seed, 6)
+		sources[p.Name] = p.Source
+	}
+	corpus, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.f"))
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources["corpus/"+filepath.Base(path)] = string(data)
+	}
+	if len(sources) < 30 {
+		t.Fatalf("only %d sources", len(sources))
+	}
+
+	configs := []core.Config{
+		{Jump: jump.Polynomial, ReturnJFs: true, MOD: true},
+		{Jump: jump.PassThrough, ReturnJFs: true, MOD: true, Complete: true},
+		{Jump: jump.Polynomial, ReturnJFs: true, MOD: false},
+		{Jump: jump.Literal, MOD: true},
+	}
+
+	for name, src := range sources {
+		f, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sp, err := sema.Analyze(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		// Execute once per input seed on a fresh IR.
+		type runObs struct{ res *Result }
+		var runs []runObs
+		var execProg *ir.Program
+		for seed := int64(0); seed < 3; seed++ {
+			prog := irbuild.Build(sp)
+			res := Run(prog, Options{InputSeed: seed, Fuel: 500_000})
+			runs = append(runs, runObs{res})
+			execProg = prog
+			_ = execProg
+			if res.Err != nil {
+				// Runtime faults (e.g. a random program dividing by
+				// zero) still yield valid partial observations.
+				t.Logf("%s seed %d: %v", name, seed, res.Err)
+			}
+		}
+
+		for _, cfg := range configs {
+			ares := core.Analyze(sp, cfg)
+			for _, run := range runs {
+				checkSoundness(t, name, cfg, ares, run.res)
+			}
+		}
+	}
+}
+
+// checkSoundness compares one analysis result against one execution.
+func checkSoundness(t *testing.T, name string, cfg core.Config, ares *core.Result, eres *Result) {
+	t.Helper()
+	// Observations key on the executed IR's procs; match by name.
+	byName := make(map[string]*Observation)
+	for proc, obs := range eres.Observations {
+		byName[proc.Name] = obs
+	}
+	for pname, pr := range ares.Procs {
+		obs := byName[pname]
+		called := obs != nil && obs.Calls > 0
+
+		for i, v := range pr.FormalVals {
+			c, isConst := v.IntConst()
+			if v.IsTop() && called && !eres.FuelExhausted {
+				// ⊤ with observed calls is only legitimate when the call
+				// sits in code the analysis saw but execution reached
+				// via... nothing: it is a soundness bug.
+				t.Errorf("%s %+v: %s formal %d is ⊤ but procedure ran %d times",
+					name, cfg, pname, i, obs.Calls)
+			}
+			if !isConst || !called {
+				continue
+			}
+			seen := obs.Formals[i]
+			if seen == nil || seen.Count == 0 {
+				continue
+			}
+			if !seen.AllEqual || seen.First != c {
+				t.Errorf("%s %+v: %s formal %d claimed %d but execution saw first=%d allEqual=%v over %d calls",
+					name, cfg, pname, i, c, seen.First, seen.AllEqual, seen.Count)
+			}
+		}
+		for k, v := range pr.GlobalVals {
+			c, isConst := v.IntConst()
+			if !isConst || !called {
+				continue
+			}
+			seen := obs.Globals[k]
+			if seen == nil || seen.Count == 0 {
+				continue
+			}
+			if !seen.AllEqual || seen.First != c {
+				t.Errorf("%s %+v: %s global %d claimed %d but execution saw first=%d allEqual=%v",
+					name, cfg, pname, k, c, seen.First, seen.AllEqual)
+			}
+		}
+	}
+}

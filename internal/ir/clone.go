@@ -1,0 +1,194 @@
+package ir
+
+// RemoveUnreachable prunes blocks not reachable from the entry and
+// removes them from the predecessor lists of surviving blocks. It must
+// run before BuildSSA so that every phi operand slot corresponds to a
+// live edge.
+func (p *Proc) RemoveUnreachable() {
+	p.ComputeRPO()
+	var live []*Block
+	for _, b := range p.Blocks {
+		if b.RPO < 0 {
+			continue
+		}
+		live = append(live, b)
+		var preds []*Block
+		for _, pr := range b.Preds {
+			if pr.RPO >= 0 {
+				preds = append(preds, pr)
+			}
+		}
+		b.Preds = preds
+	}
+	for i, b := range live {
+		b.ID = i
+	}
+	p.Blocks = live
+}
+
+// MergeTrivialJumps collapses straight-line block chains: whenever a
+// block ends in an unconditional jump to a block whose only predecessor
+// it is, the two merge. Dead-code elimination calls this after pruning
+// so the cleaned procedure reads like freshly lowered code. The receiver
+// must be in pre-SSA form (no phis).
+func (p *Proc) MergeTrivialJumps() {
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range p.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != OpJmp {
+				continue
+			}
+			c := b.Succs[0]
+			if c == b || len(c.Preds) != 1 {
+				continue
+			}
+			// Splice c into b.
+			b.Instrs = b.Instrs[:len(b.Instrs)-1] // drop the jump
+			for _, i := range c.Instrs {
+				i.Block = b
+				b.Instrs = append(b.Instrs, i)
+			}
+			b.Succs = c.Succs
+			for _, s := range c.Succs {
+				for pi, pr := range s.Preds {
+					if pr == c {
+						s.Preds[pi] = b
+					}
+				}
+			}
+			c.Succs = nil
+			c.Preds = nil
+			c.Instrs = nil
+			changed = true
+		}
+		if changed {
+			p.RemoveUnreachable()
+		}
+	}
+}
+
+// RewriteFunc maps an operand during cloning; it receives the original
+// instruction and the operand (with SSA values intact) and returns the
+// operand to place in the clone. The default keeps the operand as a
+// pre-SSA use.
+type RewriteFunc func(instr *Instr, argIndex int, op Operand) Operand
+
+// CloneStripSSA produces a fresh pre-SSA copy of the procedure suitable
+// for re-analysis: phi instructions vanish (the named variables carry
+// the merges, exactly as before SSA construction), SSA values and call
+// definitions are dropped, and each operand is passed through rewrite
+// (when non-nil) so callers can substitute constants.
+//
+// keepInstr (when non-nil) filters instructions: returning false drops
+// the instruction. Terminators are always kept. Dead-code elimination
+// uses both hooks.
+func (p *Proc) CloneStripSSA(rewrite RewriteFunc, keepInstr func(*Instr) bool) *Proc {
+	np := &Proc{
+		Name:     p.Name,
+		Kind:     p.Kind,
+		Prog:     p.Prog,
+		SrcLines: p.SrcLines,
+	}
+	varMap := make(map[*Var]*Var, len(p.Vars))
+	for _, v := range p.Vars {
+		nv := &Var{ID: v.ID, Name: v.Name, Kind: v.Kind, Type: v.Type, Index: v.Index, Global: v.Global, Size: v.Size, Dims: v.Dims}
+		np.Vars = append(np.Vars, nv)
+		varMap[v] = nv
+	}
+	mapVar := func(v *Var) *Var {
+		if v == nil {
+			return nil
+		}
+		return varMap[v]
+	}
+	for _, f := range p.Formals {
+		np.Formals = append(np.Formals, varMap[f])
+	}
+	np.Result = mapVar(p.Result)
+	for _, g := range p.GlobalVars {
+		np.GlobalVars = append(np.GlobalVars, varMap[g])
+	}
+	for _, r := range p.RetVars {
+		np.RetVars = append(np.RetVars, varMap[r])
+	}
+
+	blockMap := make(map[*Block]*Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		nb := np.NewBlock()
+		blockMap[b] = nb
+	}
+	np.Entry = blockMap[p.Entry]
+
+	for _, b := range p.Blocks {
+		nb := blockMap[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, blockMap[s])
+		}
+		for _, pr := range b.Preds {
+			nb.Preds = append(nb.Preds, blockMap[pr])
+		}
+		for _, i := range b.Instrs {
+			if i.Op == OpPhi {
+				continue // named variables carry the merge
+			}
+			if keepInstr != nil && !i.Op.IsTerminator() && !keepInstr(i) {
+				continue
+			}
+			ni := &Instr{
+				ID:         i.ID,
+				Op:         i.Op,
+				Pos:        i.Pos,
+				Role:       i.Role,
+				Var:        mapVar(i.Var),
+				Callee:     i.Callee,
+				NumActuals: i.NumActuals,
+			}
+			ni.Args = make([]Operand, len(i.Args))
+			for a := range i.Args {
+				op := i.Args[a]
+				if rewrite != nil {
+					op = rewrite(i, a, op)
+				}
+				op.Val = nil
+				op.Var = mapVar(op.Var)
+				ni.Args[a] = op
+			}
+			nb.Append(ni)
+		}
+	}
+	return np
+}
+
+// CloneProgram clones every procedure of a program into a fresh pre-SSA
+// program. rewrite and keepInstr are consulted per procedure (keyed by
+// the original *Proc) and may be nil.
+func CloneProgram(p *Program, rewrite func(*Proc) RewriteFunc, keepInstr func(*Proc) func(*Instr) bool) *Program {
+	np := NewProgram()
+	np.Globals = p.Globals
+	np.ScalarGlobals = p.ScalarGlobals
+	for _, proc := range p.Procs {
+		var rw RewriteFunc
+		if rewrite != nil {
+			rw = rewrite(proc)
+		}
+		var keep func(*Instr) bool
+		if keepInstr != nil {
+			keep = keepInstr(proc)
+		}
+		nproc := proc.CloneStripSSA(rw, keep)
+		np.AddProc(nproc)
+	}
+	// Callee pointers still reference the old program; repoint them.
+	for _, proc := range np.Procs {
+		for _, b := range proc.Blocks {
+			for _, i := range b.Instrs {
+				if i.Op == OpCall {
+					i.Callee = np.ProcByName[i.Callee.Name]
+				}
+			}
+		}
+	}
+	return np
+}

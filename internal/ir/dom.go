@@ -1,0 +1,141 @@
+package ir
+
+// ComputeRPO numbers the blocks reachable from the entry in reverse
+// postorder and returns them in that order. Unreachable blocks get
+// RPO = -1 and are excluded from the result.
+func (p *Proc) ComputeRPO() []*Block {
+	for _, b := range p.Blocks {
+		b.RPO = -1
+	}
+	var post []*Block
+	visited := make([]bool, len(p.Blocks))
+	// Iterative DFS with an explicit stack to bound recursion depth.
+	type frame struct {
+		b    *Block
+		next int
+	}
+	stack := []frame{{b: p.Entry}}
+	visited[p.Entry.ID] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.b.Succs) {
+			s := f.b.Succs[f.next]
+			f.next++
+			if !visited[s.ID] {
+				visited[s.ID] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		n := len(post) - 1 - i
+		b.RPO = n
+		rpo[n] = b
+	}
+	return rpo
+}
+
+// ComputeDominators fills in the immediate-dominator tree and dominance
+// frontiers for all blocks reachable from the entry, using the
+// Cooper–Harvey–Kennedy iterative algorithm. It returns the blocks in
+// reverse postorder.
+func (p *Proc) ComputeDominators() []*Block {
+	rpo := p.ComputeRPO()
+	for _, b := range p.Blocks {
+		b.Idom = nil
+		b.DomChild = nil
+		b.DomFront = nil
+	}
+	if len(rpo) == 0 {
+		return rpo
+	}
+	entry := rpo[0]
+	entry.Idom = entry
+
+	intersect := func(b1, b2 *Block) *Block {
+		for b1 != b2 {
+			for b1.RPO > b2.RPO {
+				b1 = b1.Idom
+			}
+			for b2.RPO > b1.RPO {
+				b2 = b2.Idom
+			}
+		}
+		return b1
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, pred := range b.Preds {
+				if pred.RPO < 0 || pred.Idom == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = pred
+				} else {
+					newIdom = intersect(pred, newIdom)
+				}
+			}
+			if newIdom != nil && b.Idom != newIdom {
+				b.Idom = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Entry's Idom is conventionally nil for tree walks; record children.
+	entry.Idom = nil
+	for _, b := range rpo[1:] {
+		if b.Idom != nil {
+			b.Idom.DomChild = append(b.Idom.DomChild, b)
+		}
+	}
+
+	// Dominance frontiers (Cooper–Harvey–Kennedy): for each join point,
+	// walk up from each predecessor to the immediate dominator.
+	for _, b := range rpo {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, pred := range b.Preds {
+			if pred.RPO < 0 {
+				continue
+			}
+			runner := pred
+			for runner != nil && runner != b.Idom {
+				if !containsBlock(runner.DomFront, b) {
+					runner.DomFront = append(runner.DomFront, b)
+				}
+				runner = runner.Idom
+			}
+		}
+	}
+	return rpo
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether a dominates b (reflexively). Valid only
+// after ComputeDominators.
+func Dominates(a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = b.Idom
+	}
+	return false
+}

@@ -1,0 +1,182 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slowDominators computes dominator sets by the classic iterative
+// bitvector dataflow (the textbook reference implementation), used to
+// cross-check the Cooper–Harvey–Kennedy idom computation.
+func slowDominators(p *Proc, rpo []*Block) map[*Block]map[*Block]bool {
+	dom := make(map[*Block]map[*Block]bool, len(rpo))
+	all := make(map[*Block]bool, len(rpo))
+	for _, b := range rpo {
+		all[b] = true
+	}
+	for _, b := range rpo {
+		if b == p.Entry {
+			dom[b] = map[*Block]bool{b: true}
+			continue
+		}
+		cp := make(map[*Block]bool, len(all))
+		for k := range all {
+			cp[k] = true
+		}
+		dom[b] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == p.Entry {
+				continue
+			}
+			// dom(b) = {b} ∪ ⋂ dom(pred)
+			var acc map[*Block]bool
+			for _, pr := range b.Preds {
+				if pr.RPO < 0 {
+					continue
+				}
+				if acc == nil {
+					acc = make(map[*Block]bool, len(dom[pr]))
+					for k := range dom[pr] {
+						acc[k] = true
+					}
+					continue
+				}
+				for k := range acc {
+					if !dom[pr][k] {
+						delete(acc, k)
+					}
+				}
+			}
+			if acc == nil {
+				acc = make(map[*Block]bool)
+			}
+			acc[b] = true
+			if len(acc) != len(dom[b]) {
+				dom[b] = acc
+				changed = true
+				continue
+			}
+			for k := range acc {
+				if !dom[b][k] {
+					dom[b] = acc
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// randomCFG builds a random control-flow graph: n body blocks, each
+// ending in a jump or branch to random body targets (possibly
+// backwards: loops and irreducible regions arise naturally). The entry
+// block itself is never a branch target — the invariant every
+// program-derived procedure satisfies (lowering always starts labeled
+// code in a fresh block) and that the ≥2-predecessor optimization in
+// the dominance-frontier computation relies on.
+func randomCFG(r *rand.Rand, n int) *Proc {
+	p := &Proc{Name: "R"}
+	entry := p.NewBlock()
+	p.Entry = entry
+	for i := 0; i < n; i++ {
+		p.NewBlock()
+	}
+	cond := p.NewVar("C", LocalVar, Bool)
+	entry.Append(&Instr{Op: OpJmp})
+	AddEdge(entry, p.Blocks[1])
+	body := func() *Block { return p.Blocks[1+r.Intn(n)] }
+	for _, b := range p.Blocks[1:] {
+		switch r.Intn(4) {
+		case 0, 1: // jump
+			b.Append(&Instr{Op: OpJmp})
+			AddEdge(b, body())
+		case 2: // branch
+			b.Append(&Instr{Op: OpBr, Args: []Operand{VarOperand(cond)}})
+			AddEdge(b, body())
+			AddEdge(b, body())
+		default: // return
+			b.Append(&Instr{Op: OpRet})
+		}
+	}
+	p.RemoveUnreachable()
+	return p
+}
+
+// TestDominatorsMatchReference cross-checks CHK against the iterative
+// bitvector reference on 200 random CFGs (including loops and
+// irreducible regions).
+func TestDominatorsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := randomCFG(r, 2+r.Intn(12))
+		rpo := p.ComputeDominators()
+		ref := slowDominators(p, rpo)
+
+		for _, b := range rpo {
+			if b == p.Entry {
+				if b.Idom != nil {
+					t.Fatalf("trial %d: entry has idom %v", trial, b.Idom)
+				}
+				continue
+			}
+			// The idom must be a strict dominator...
+			if b.Idom == nil {
+				t.Fatalf("trial %d: %v has no idom", trial, b)
+			}
+			if !ref[b][b.Idom] {
+				t.Fatalf("trial %d: idom(%v)=%v is not a dominator (ref %v)",
+					trial, b, b.Idom, ref[b])
+			}
+			// ...and every other strict dominator must dominate the idom
+			// (idom = the closest strict dominator).
+			for d := range ref[b] {
+				if d == b || d == b.Idom {
+					continue
+				}
+				if !ref[b.Idom][d] {
+					t.Fatalf("trial %d: %v strictly dominates %v but not its idom %v",
+						trial, d, b, b.Idom)
+				}
+			}
+			// Dominates() must agree with the reference set.
+			for _, a := range rpo {
+				if Dominates(a, b) != ref[b][a] {
+					t.Fatalf("trial %d: Dominates(%v,%v)=%v, ref=%v",
+						trial, a, b, Dominates(a, b), ref[b][a])
+				}
+			}
+		}
+
+		// Dominance frontier definition check: w ∈ DF(b) iff b dominates
+		// a predecessor of w but does not strictly dominate w.
+		inDF := func(b, w *Block) bool {
+			for _, x := range b.DomFront {
+				if x == w {
+					return true
+				}
+			}
+			return false
+		}
+		for _, b := range rpo {
+			for _, w := range rpo {
+				want := false
+				for _, pr := range w.Preds {
+					if pr.RPO < 0 {
+						continue
+					}
+					if ref[pr][b] && !(ref[w][b] && b != w) {
+						want = true
+					}
+				}
+				if inDF(b, w) != want {
+					t.Fatalf("trial %d: DF(%v) contains %v = %v, want %v",
+						trial, b, w, inDF(b, w), want)
+				}
+			}
+		}
+	}
+}

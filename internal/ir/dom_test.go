@@ -1,0 +1,123 @@
+package ir
+
+import "testing"
+
+// buildDiamond constructs:
+//
+//	b0 → b1, b2 ; b1 → b3 ; b2 → b3
+func buildDiamond() (*Proc, []*Block) {
+	p := &Proc{Name: "T"}
+	b0, b1, b2, b3 := p.NewBlock(), p.NewBlock(), p.NewBlock(), p.NewBlock()
+	p.Entry = b0
+	AddEdge(b0, b1)
+	AddEdge(b0, b2)
+	AddEdge(b1, b3)
+	AddEdge(b2, b3)
+	return p, []*Block{b0, b1, b2, b3}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	p, b := buildDiamond()
+	p.ComputeDominators()
+	if b[1].Idom != b[0] || b[2].Idom != b[0] || b[3].Idom != b[0] {
+		t.Fatalf("idoms: %v %v %v", b[1].Idom, b[2].Idom, b[3].Idom)
+	}
+	if !Dominates(b[0], b[3]) || Dominates(b[1], b[3]) {
+		t.Fatal("Dominates wrong on diamond")
+	}
+	// DF(b1) = DF(b2) = {b3}; DF(b0) = {}.
+	if len(b[1].DomFront) != 1 || b[1].DomFront[0] != b[3] {
+		t.Fatalf("DF(b1) = %v", b[1].DomFront)
+	}
+	if len(b[0].DomFront) != 0 {
+		t.Fatalf("DF(b0) = %v", b[0].DomFront)
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	// b0 → b1(header) → b2(body) → b1 ; b1 → b3(exit)
+	p := &Proc{Name: "L"}
+	b0, b1, b2, b3 := p.NewBlock(), p.NewBlock(), p.NewBlock(), p.NewBlock()
+	p.Entry = b0
+	AddEdge(b0, b1)
+	AddEdge(b1, b2)
+	AddEdge(b1, b3)
+	AddEdge(b2, b1)
+	p.ComputeDominators()
+	if b1.Idom != b0 || b2.Idom != b1 || b3.Idom != b1 {
+		t.Fatalf("idoms: %v %v %v", b1.Idom, b2.Idom, b3.Idom)
+	}
+	// The loop header is in the dominance frontier of its own body and
+	// of itself (back edge).
+	if !containsBlock(b2.DomFront, b1) {
+		t.Fatalf("DF(body) = %v, want to contain header", b2.DomFront)
+	}
+	if !containsBlock(b1.DomFront, b1) {
+		t.Fatalf("DF(header) = %v, want self (back edge)", b1.DomFront)
+	}
+}
+
+func TestDominatorsIrreducible(t *testing.T) {
+	// b0 → b1, b2 ; b1 → b2 ; b2 → b1 ; b1 → b3
+	p := &Proc{Name: "I"}
+	b0, b1, b2, b3 := p.NewBlock(), p.NewBlock(), p.NewBlock(), p.NewBlock()
+	p.Entry = b0
+	AddEdge(b0, b1)
+	AddEdge(b0, b2)
+	AddEdge(b1, b2)
+	AddEdge(b2, b1)
+	AddEdge(b1, b3)
+	p.ComputeDominators()
+	// In an irreducible region both b1 and b2 are dominated only by b0.
+	if b1.Idom != b0 || b2.Idom != b0 {
+		t.Fatalf("idoms: %v %v", b1.Idom, b2.Idom)
+	}
+	if b3.Idom != b1 {
+		t.Fatalf("idom(b3) = %v", b3.Idom)
+	}
+}
+
+func TestRPOUnreachable(t *testing.T) {
+	p := &Proc{Name: "U"}
+	b0 := p.NewBlock()
+	b1 := p.NewBlock() // unreachable
+	p.Entry = b0
+	rpo := p.ComputeRPO()
+	if len(rpo) != 1 || rpo[0] != b0 {
+		t.Fatalf("rpo: %v", rpo)
+	}
+	if b1.RPO != -1 {
+		t.Fatalf("unreachable block has RPO %d", b1.RPO)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	p := &Proc{Name: "R"}
+	b0, b1, b2 := p.NewBlock(), p.NewBlock(), p.NewBlock()
+	p.Entry = b0
+	AddEdge(b0, b1)
+	AddEdge(b2, b1) // b2 unreachable but an edge into live b1
+	p.RemoveUnreachable()
+	if len(p.Blocks) != 2 {
+		t.Fatalf("blocks: %d", len(p.Blocks))
+	}
+	if len(b1.Preds) != 1 || b1.Preds[0] != b0 {
+		t.Fatalf("b1 preds: %v", b1.Preds)
+	}
+}
+
+func TestRPOOrderIsTopologicalForAcyclic(t *testing.T) {
+	p, b := buildDiamond()
+	rpo := p.ComputeRPO()
+	pos := make(map[*Block]int)
+	for i, blk := range rpo {
+		pos[blk] = i
+	}
+	for _, blk := range b {
+		for _, s := range blk.Succs {
+			if pos[s] <= pos[blk] {
+				t.Fatalf("RPO not topological: %v before %v", s, blk)
+			}
+		}
+	}
+}

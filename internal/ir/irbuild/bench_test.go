@@ -1,0 +1,61 @@
+package irbuild
+
+import (
+	"testing"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+func benchProgram(b *testing.B) *sema.Program {
+	b.Helper()
+	f, err := parser.Parse(suite.Generate("snasa7", 4).Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkLower measures AST → IR lowering.
+func BenchmarkLower(b *testing.B) {
+	sp := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(sp)
+	}
+}
+
+// BenchmarkBuildSSA measures dominators + phi placement + renaming over
+// a freshly lowered program.
+func BenchmarkBuildSSA(b *testing.B) {
+	sp := benchProgram(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prog := Build(sp)
+		cg := callgraph.Build(prog)
+		mods := modref.Compute(prog, cg)
+		b.StartTimer()
+		for _, proc := range prog.Procs {
+			proc.BuildSSA(mods.Oracle())
+		}
+	}
+}
+
+// BenchmarkModRef measures the interprocedural MOD/REF summaries.
+func BenchmarkModRef(b *testing.B) {
+	sp := benchProgram(b)
+	prog := Build(sp)
+	cg := callgraph.Build(prog)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		modref.Compute(prog, cg)
+	}
+}

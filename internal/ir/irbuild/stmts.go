@@ -1,0 +1,258 @@
+package irbuild
+
+import (
+	"ipcp/internal/ir"
+	"ipcp/internal/mf/ast"
+)
+
+func (b *builder) lowerStmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.lowerStmt(s)
+	}
+}
+
+func (b *builder) lowerStmt(s ast.Stmt) {
+	// A labeled statement starts a new block so that GOTOs can target it.
+	if l := s.Label(); l != 0 {
+		blk := b.labelBlock(l)
+		b.startBlock(blk)
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		b.lowerAssign(s)
+	case *ast.IfStmt:
+		b.lowerIf(s.Cond, s.Then, s.Else, s.Pos())
+	case *ast.LogicalIfStmt:
+		b.lowerIf(s.Cond, []ast.Stmt{s.Stmt}, nil, s.Pos())
+	case *ast.DoStmt:
+		b.lowerDo(s)
+	case *ast.DoWhileStmt:
+		b.lowerDoWhile(s)
+	case *ast.GotoStmt:
+		target := b.labelBlock(s.Target)
+		if b.cur != nil && b.cur.Terminator() == nil {
+			b.emit(&ir.Instr{Op: ir.OpJmp, Pos: s.Pos()})
+			ir.AddEdge(b.cur, target)
+		}
+		b.cur = nil
+	case *ast.ContinueStmt:
+		// No operation; the label (if any) was handled above.
+	case *ast.CallStmt:
+		b.lowerCallStmt(s)
+	case *ast.ReturnStmt:
+		if b.cur != nil && b.cur.Terminator() == nil {
+			b.emitReturn()
+		}
+		b.cur = nil
+	case *ast.StopStmt:
+		if b.cur != nil && b.cur.Terminator() == nil {
+			b.emit(&ir.Instr{Op: ir.OpStop, Pos: s.Pos()})
+		}
+		b.cur = nil
+	case *ast.ReadStmt:
+		b.lowerRead(s)
+	case *ast.WriteStmt:
+		b.lowerWrite(s)
+	}
+}
+
+func (b *builder) lowerAssign(s *ast.AssignStmt) {
+	sym := b.sema.RefSym[s.LHS]
+	if sym == nil {
+		return // semantic error already reported
+	}
+	v := b.vars[sym]
+	if len(s.LHS.Indexes) > 0 {
+		// Array element store.
+		val, _ := b.genExpr(s.RHS)
+		args := make([]ir.Operand, 0, 1+len(s.LHS.Indexes))
+		args = append(args, val)
+		for _, ix := range s.LHS.Indexes {
+			op, _ := b.genExpr(ix)
+			args = append(args, op)
+		}
+		b.emit(&ir.Instr{Op: ir.OpAStore, Var: v, Args: args, Pos: s.Pos()})
+		return
+	}
+	b.genExprInto(v, s.RHS, s.Pos())
+}
+
+func (b *builder) lowerIf(cond ast.Expr, then, els []ast.Stmt, pos tokenPos) {
+	condOp := b.genRoleExpr(cond, ir.RoleCondition)
+	thenB := b.proc.NewBlock()
+	joinB := b.proc.NewBlock()
+	elseB := joinB
+	if len(els) > 0 {
+		elseB = b.proc.NewBlock()
+	}
+	b.emit(&ir.Instr{Op: ir.OpBr, Args: []ir.Operand{condOp}, Pos: pos})
+	ir.AddEdge(b.cur, thenB)
+	ir.AddEdge(b.cur, elseB)
+
+	b.cur = thenB
+	b.lowerStmts(then)
+	b.startJoin(joinB)
+
+	if len(els) > 0 {
+		b.cur = elseB
+		b.lowerStmts(els)
+		b.startJoin(joinB)
+	}
+	b.cur = joinB
+}
+
+// startJoin jumps from the (possibly terminated) current block to join.
+func (b *builder) startJoin(join *ir.Block) {
+	if b.cur != nil && b.cur.Terminator() == nil {
+		b.emit(&ir.Instr{Op: ir.OpJmp})
+		ir.AddEdge(b.cur, join)
+	}
+}
+
+// lowerDo lowers a counted DO loop:
+//
+//	i = lo; hiT = hi; stepT = step
+//	header: if i <= hiT goto body else join   (>= for constant negative step)
+//	body:   ...
+//	latch:  i = i + stepT; goto header
+//
+// The comparison direction follows the step's compile-time sign; dynamic
+// negative steps are analyzed (not executed), so the positive-direction
+// test is a sound default for the analyses, which never rely on trip
+// counts.
+func (b *builder) lowerDo(s *ast.DoStmt) {
+	sym := b.unit.Symbols[s.Var]
+	iv := b.vars[sym]
+
+	save := b.role
+	b.role = ir.RoleLoopBound
+	b.genExprInto(iv, s.Lo, s.Pos())
+
+	hiOp, _ := b.genExpr(s.Hi)
+	if hiOp.Const == nil {
+		// Latch and header re-evaluate the bound; copy it to a temp so
+		// body assignments to the bound variable cannot alter the loop
+		// (FORTRAN evaluates bounds once).
+		t := b.newTemp(ir.Int)
+		b.emit(&ir.Instr{Op: ir.OpCopy, Var: t, Args: []ir.Operand{hiOp}, Pos: s.Pos()})
+		hiOp = ir.VarOperand(t)
+		hiOp.Synthetic = true
+	}
+	stepOp := ir.ConstOperand(ir.IntConst(1))
+	negStep := false
+	if s.Step != nil {
+		stepOp, _ = b.genExpr(s.Step)
+		if stepOp.Const == nil {
+			t := b.newTemp(ir.Int)
+			b.emit(&ir.Instr{Op: ir.OpCopy, Var: t, Args: []ir.Operand{stepOp}, Pos: s.Pos()})
+			stepOp = ir.VarOperand(t)
+			stepOp.Synthetic = true
+		} else if stepOp.Const.Int < 0 {
+			negStep = true
+		}
+	}
+
+	b.role = save
+
+	header := b.proc.NewBlock()
+	body := b.proc.NewBlock()
+	join := b.proc.NewBlock()
+
+	b.startBlock(header)
+	condT := b.newTemp(ir.Bool)
+	cmpOp := ir.OpLe
+	if negStep {
+		cmpOp = ir.OpGe
+	}
+	ivUse := ir.VarOperand(iv)
+	ivUse.Synthetic = true
+	b.emit(&ir.Instr{Op: cmpOp, Var: condT, Args: []ir.Operand{ivUse, hiOp}, Pos: s.Pos()})
+	b.emit(&ir.Instr{Op: ir.OpBr, Args: []ir.Operand{ir.VarOperand(condT)}, Pos: s.Pos()})
+	ir.AddEdge(b.cur, body)
+	ir.AddEdge(b.cur, join)
+
+	b.cur = body
+	b.lowerStmts(s.Body)
+	// Latch: increment and loop.
+	if b.cur != nil && b.cur.Terminator() == nil {
+		ivInc := ir.VarOperand(iv)
+		ivInc.Synthetic = true
+		b.emit(&ir.Instr{Op: ir.OpAdd, Var: iv, Args: []ir.Operand{ivInc, stepOp}, Pos: s.Pos()})
+		b.emit(&ir.Instr{Op: ir.OpJmp, Pos: s.Pos()})
+		ir.AddEdge(b.cur, header)
+	}
+	b.cur = join
+}
+
+func (b *builder) lowerDoWhile(s *ast.DoWhileStmt) {
+	header := b.proc.NewBlock()
+	body := b.proc.NewBlock()
+	join := b.proc.NewBlock()
+
+	b.startBlock(header)
+	condOp := b.genRoleExpr(s.Cond, ir.RoleCondition)
+	b.emit(&ir.Instr{Op: ir.OpBr, Args: []ir.Operand{condOp}, Pos: s.Pos()})
+	ir.AddEdge(b.cur, body)
+	ir.AddEdge(b.cur, join)
+
+	b.cur = body
+	b.lowerStmts(s.Body)
+	if b.cur != nil && b.cur.Terminator() == nil {
+		b.emit(&ir.Instr{Op: ir.OpJmp, Pos: s.Pos()})
+		ir.AddEdge(b.cur, header)
+	}
+	b.cur = join
+}
+
+func (b *builder) lowerCallStmt(s *ast.CallStmt) {
+	tgt := b.sema.CallTargets[s]
+	if tgt == nil || tgt.Unit == nil {
+		return // semantic error already reported
+	}
+	b.genCall(tgt.Unit.Name, s.Args, nil, s.Pos())
+}
+
+func (b *builder) lowerRead(s *ast.ReadStmt) {
+	for _, t := range s.Targets {
+		sym := b.sema.RefSym[t]
+		if sym == nil {
+			continue
+		}
+		v := b.vars[sym]
+		if len(t.Indexes) > 0 {
+			tmp := b.newTemp(v.Type.Elem())
+			b.emit(&ir.Instr{Op: ir.OpRead, Var: tmp, Pos: s.Pos()})
+			args := []ir.Operand{ir.VarOperand(tmp)}
+			for _, ix := range t.Indexes {
+				op, _ := b.genExpr(ix)
+				args = append(args, op)
+			}
+			b.emit(&ir.Instr{Op: ir.OpAStore, Var: v, Args: args, Pos: s.Pos()})
+			continue
+		}
+		b.emit(&ir.Instr{Op: ir.OpRead, Var: v, Pos: s.Pos()})
+	}
+}
+
+func (b *builder) lowerWrite(s *ast.WriteStmt) {
+	var args []ir.Operand
+	for _, e := range s.Values {
+		if _, isStr := e.(*ast.StrLit); isStr {
+			continue // strings carry no analyzable value
+		}
+		op, _ := b.genExpr(e)
+		args = append(args, op)
+	}
+	b.emit(&ir.Instr{Op: ir.OpWrite, Args: args, Pos: s.Pos()})
+}
+
+// genRoleExpr lowers an expression with every emitted instruction
+// tagged by role (loop bound or condition), for the control-flow
+// constant classification.
+func (b *builder) genRoleExpr(e ast.Expr, role ir.Role) ir.Operand {
+	save := b.role
+	b.role = role
+	op, _ := b.genExpr(e)
+	b.role = save
+	return op
+}

@@ -1,0 +1,66 @@
+package irbuild
+
+import (
+	"testing"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/dce"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/analysis/sccp"
+	"ipcp/internal/ir"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+// buildNamed lowers a generated suite or random program.
+func buildVerified(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return Build(sp)
+}
+
+// Every suite program must verify before SSA, after SSA, and after a
+// DCE round — the IR invariants hold through every transformation.
+func TestVerifyThroughPipeline(t *testing.T) {
+	sources := make(map[string]string)
+	for _, name := range suite.Names() {
+		sources[name] = suite.Generate(name, 2).Source
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		p := suite.Random(seed, 5)
+		sources[p.Name] = p.Source
+	}
+
+	for name, src := range sources {
+		prog := buildVerified(t, src)
+		if err := ir.VerifyProgram(prog); err != nil {
+			t.Fatalf("%s pre-SSA: %v", name, err)
+		}
+		cg := callgraph.Build(prog)
+		mods := modref.Compute(prog, cg)
+		for _, proc := range prog.Procs {
+			proc.BuildSSA(mods.Oracle())
+		}
+		if err := ir.VerifyProgram(prog); err != nil {
+			t.Fatalf("%s post-SSA: %v", name, err)
+		}
+		// DCE produces fresh pre-SSA procedures; they must verify and
+		// re-SSA cleanly.
+		for _, proc := range prog.Procs {
+			res := sccp.Run(proc, nil, nil)
+			np, _ := dce.Transform(proc, res, &dce.Options{Refs: mods, SweepUseless: true})
+			np.Prog = prog
+			if err := np.Verify(); err != nil {
+				t.Fatalf("%s post-DCE %s: %v", name, proc.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the procedure's IR for debugging and golden tests.
+func (p *Proc) String() string {
+	var sb strings.Builder
+	kind := map[ProcKind]string{MainProc: "program", SubProc: "subroutine", FuncProc: "function"}[p.Kind]
+	formals := make([]string, len(p.Formals))
+	for i, f := range p.Formals {
+		formals[i] = fmt.Sprintf("%s %s", f.Type, f.Name)
+	}
+	fmt.Fprintf(&sb, "%s %s(%s)\n", kind, p.Name, strings.Join(formals, ", "))
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if len(b.Preds) > 0 {
+			preds := make([]string, len(b.Preds))
+			for i, pr := range b.Preds {
+				preds[i] = pr.String()
+			}
+			fmt.Fprintf(&sb, " ; preds %s", strings.Join(preds, " "))
+		}
+		sb.WriteByte('\n')
+		for _, i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", i)
+		}
+	}
+	return sb.String()
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	args := make([]string, len(i.Args))
+	for a := range i.Args {
+		args[a] = i.Args[a].String()
+	}
+	argList := strings.Join(args, ", ")
+
+	dst := ""
+	switch {
+	case i.Dst != nil:
+		dst = i.Dst.String() + " = "
+	case i.Var != nil && i.Op != OpAStore:
+		dst = i.Var.Name + " = "
+	}
+
+	switch i.Op {
+	case OpALoad:
+		// Args[0] is the array; the rest are subscripts.
+		return fmt.Sprintf("%s%s(%s)", dst, args[0], strings.Join(args[1:], ", "))
+	case OpAStore:
+		return fmt.Sprintf("%s(%s) = %s", i.Var.Name, strings.Join(args[1:], ", "), args[0])
+	case OpCall:
+		actuals := strings.Join(args[:i.NumActuals], ", ")
+		s := fmt.Sprintf("%scall %s(%s)", dst, i.Callee.Name, actuals)
+		var defs []string
+		for _, d := range i.CallDefs {
+			if d != nil {
+				defs = append(defs, d.String())
+			}
+		}
+		if len(defs) > 0 {
+			s += " ; defs " + strings.Join(defs, ", ")
+		}
+		return s
+	case OpBr:
+		return fmt.Sprintf("br %s, %s, %s", args[0], i.Block.Succs[0], i.Block.Succs[1])
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", i.Block.Succs[0])
+	case OpRet:
+		return fmt.Sprintf("ret [%s]", argList)
+	case OpStop:
+		return "stop"
+	case OpPhi:
+		return fmt.Sprintf("%sphi(%s)", dst, argList)
+	}
+	return fmt.Sprintf("%s%s %s", dst, i.Op, argList)
+}

@@ -1,0 +1,315 @@
+package ir
+
+// ModOracle answers, during SSA construction, whether a call may modify
+// a by-reference binding. The real oracle is backed by interprocedural
+// MOD summaries; the worst-case oracle (paper §4.2, Table 3 column 1)
+// says yes to everything, forcing the value-numbering pass to make
+// worst-case assumptions at every call site.
+type ModOracle interface {
+	// ModifiesFormal reports whether callee may modify its idx-th formal.
+	ModifiesFormal(callee *Proc, idx int) bool
+	// ModifiesGlobal reports whether a call to callee may modify g.
+	ModifiesGlobal(callee *Proc, g *GlobalVar) bool
+}
+
+// WorstCase is the ModOracle that assumes every call clobbers every
+// by-reference binding and every global.
+var WorstCase ModOracle = worstCase{}
+
+type worstCase struct{}
+
+func (worstCase) ModifiesFormal(*Proc, int) bool        { return true }
+func (worstCase) ModifiesGlobal(*Proc, *GlobalVar) bool { return true }
+
+// BuildSSA converts the procedure into SSA form in place: it computes
+// dominators, inserts phi instructions for the tracked variables, and
+// renames every use and definition. Call instructions get CallDef values
+// for each binding the oracle says the callee may modify.
+//
+// BuildSSA must be called exactly once per procedure instance; to
+// reanalyze under a different oracle, rebuild the IR (see
+// irbuild.Build).
+func (p *Proc) BuildSSA(oracle ModOracle) {
+	if p.ssaBuilt {
+		panic("ir: BuildSSA called twice on " + p.Name)
+	}
+	p.ssaBuilt = true
+	rpo := p.ComputeDominators()
+
+	// --- Phi placement -----------------------------------------------------
+	// Every tracked variable is implicitly defined at entry (EntryDef or
+	// UndefDef), plus at each real definition site.
+	defBlocks := make(map[*Var]map[*Block]bool)
+	addDef := func(v *Var, b *Block) {
+		if !v.Tracked() {
+			return
+		}
+		m := defBlocks[v]
+		if m == nil {
+			m = make(map[*Block]bool)
+			defBlocks[v] = m
+		}
+		m[b] = true
+	}
+	for _, v := range p.Vars {
+		addDef(v, p.Entry)
+	}
+	for _, b := range rpo {
+		for _, i := range b.Instrs {
+			if i.Op.DefinesScalar() && i.Var != nil {
+				addDef(i.Var, b)
+			}
+			if i.Op == OpCall {
+				p.addCallDefSites(i, oracle, addDef, b)
+			}
+		}
+	}
+
+	for v, sites := range defBlocks {
+		p.placePhis(v, sites)
+	}
+
+	// --- Renaming -----------------------------------------------------------
+	r := &renamer{
+		proc:   p,
+		oracle: oracle,
+		stacks: make(map[*Var][]*Value),
+		undefs: make(map[*Var]*Value),
+	}
+	p.EntryValues = make(map[*Var]*Value)
+	for _, v := range p.Vars {
+		if !v.Tracked() {
+			continue
+		}
+		kind := UndefDef
+		if v.Kind == FormalVar || v.Kind == GlobalRefVar {
+			kind = EntryDef
+		}
+		val := p.newValue(v, kind, nil)
+		p.EntryValues[v] = val
+		r.stacks[v] = []*Value{val}
+	}
+	r.renameBlock(p.Entry)
+}
+
+// addCallDefSites registers the definition sites a call contributes: one
+// per bare scalar-variable actual whose formal the callee may modify,
+// and one per scalar global the callee may modify.
+func (p *Proc) addCallDefSites(call *Instr, oracle ModOracle, addDef func(*Var, *Block), b *Block) {
+	callee := call.Callee
+	for i := 0; i < call.NumActuals; i++ {
+		v := callByRefActual(call, i)
+		if v == nil || !v.Tracked() {
+			continue
+		}
+		if oracle.ModifiesFormal(callee, i) {
+			addDef(v, b)
+		}
+	}
+	for k, gv := range p.GlobalVars {
+		if oracle.ModifiesGlobal(callee, p.Prog.ScalarGlobals[k]) {
+			addDef(gv, b)
+		}
+	}
+}
+
+// callByRefActual returns the bare scalar variable passed at actual
+// position i of the call (the by-reference bindings a callee can write
+// through), or nil when the actual is a constant, a temporary holding an
+// expression value, or an array.
+func callByRefActual(call *Instr, i int) *Var {
+	op := call.Args[i]
+	if op.Const != nil || op.Var == nil {
+		return nil
+	}
+	v := op.Var
+	if v.Type.IsArray() || v.Kind == TempVar {
+		return nil
+	}
+	// The callee's formal must itself be scalar for the binding to be a
+	// scalar write-through.
+	if call.Callee != nil && i < len(call.Callee.Formals) && call.Callee.Formals[i].Type.IsArray() {
+		return nil
+	}
+	return v
+}
+
+// placePhis inserts phi instructions for v on the iterated dominance
+// frontier of its definition sites.
+func (p *Proc) placePhis(v *Var, sites map[*Block]bool) {
+	hasPhi := make(map[*Block]bool)
+	work := make([]*Block, 0, len(sites))
+	for b := range sites {
+		work = append(work, b)
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, df := range b.DomFront {
+			if hasPhi[df] {
+				continue
+			}
+			hasPhi[df] = true
+			phi := &Instr{
+				Op:   OpPhi,
+				Var:  v,
+				Args: make([]Operand, len(df.Preds)),
+			}
+			for j := range phi.Args {
+				phi.Args[j] = VarOperand(v)
+			}
+			phi.Block = df
+			df.Instrs = append([]*Instr{phi}, df.Instrs...)
+			if !sites[df] {
+				sites[df] = true
+				work = append(work, df)
+			}
+		}
+	}
+}
+
+type renamer struct {
+	proc   *Proc
+	oracle ModOracle
+	stacks map[*Var][]*Value
+	undefs map[*Var]*Value
+}
+
+func (r *renamer) top(v *Var) *Value {
+	if s := r.stacks[v]; len(s) > 0 {
+		return s[len(s)-1]
+	}
+	// Temps are defined before use within dominating code; an empty
+	// stack can only mean an untracked variable read before any write,
+	// which lowering never produces, or a tracked local (already seeded
+	// with UndefDef). Keep a defensive shared undef.
+	u := r.undefs[v]
+	if u == nil {
+		u = r.proc.newValue(v, UndefDef, nil)
+		r.undefs[v] = u
+	}
+	return u
+}
+
+func (r *renamer) push(v *Var, val *Value) int {
+	r.stacks[v] = append(r.stacks[v], val)
+	return 1
+}
+
+func (r *renamer) renameBlock(b *Block) {
+	var pushed []*Var
+
+	for _, i := range b.Instrs {
+		// Phi definitions first; their arguments are filled from
+		// predecessors.
+		if i.Op == OpPhi {
+			val := r.proc.newValue(i.Var, InstrDef, i)
+			i.Dst = val
+			pushed = append(pushed, i.Var)
+			r.push(i.Var, val)
+			continue
+		}
+
+		// Rewrite uses.
+		for a := range i.Args {
+			op := &i.Args[a]
+			if op.Const != nil || op.Var == nil || op.Var.Type.IsArray() {
+				continue
+			}
+			val := r.top(op.Var)
+			op.Val = val
+			val.Uses = append(val.Uses, i)
+		}
+
+		// Definitions.
+		switch {
+		case i.Op == OpCall:
+			r.renameCall(i, &pushed)
+		case i.Op.DefinesScalar() && i.Var != nil:
+			val := r.proc.newValue(i.Var, InstrDef, i)
+			i.Dst = val
+			pushed = append(pushed, i.Var)
+			r.push(i.Var, val)
+		}
+	}
+
+	// Fill phi arguments of successors. A successor may list b as a
+	// predecessor more than once (a conditional branch whose arms meet
+	// immediately), so fill every matching slot; process each distinct
+	// successor once.
+	for si, s := range b.Succs {
+		if containsBlockBefore(b.Succs, si, s) {
+			continue
+		}
+		for j, pb := range s.Preds {
+			if pb != b {
+				continue
+			}
+			for _, i := range s.Instrs {
+				if i.Op != OpPhi {
+					break
+				}
+				val := r.top(i.Var)
+				i.Args[j].Val = val
+				val.Uses = append(val.Uses, i)
+			}
+		}
+	}
+
+	for _, child := range b.DomChild {
+		r.renameBlock(child)
+	}
+
+	for _, v := range pushed {
+		s := r.stacks[v]
+		r.stacks[v] = s[:len(s)-1]
+	}
+}
+
+// renameCall creates the call's definitions: the function result and the
+// CallDef values for modified by-reference bindings.
+func (r *renamer) renameCall(i *Instr, pushed *[]*Var) {
+	p := r.proc
+	if i.Var != nil { // function result temp
+		val := p.newValue(i.Var, InstrDef, i)
+		i.Dst = val
+		*pushed = append(*pushed, i.Var)
+		r.push(i.Var, val)
+	}
+	i.CallDefs = make([]*Value, i.NumActuals+len(p.GlobalVars))
+	for a := 0; a < i.NumActuals; a++ {
+		v := callByRefActual(i, a)
+		if v == nil || !v.Tracked() {
+			continue
+		}
+		if !r.oracle.ModifiesFormal(i.Callee, a) {
+			continue
+		}
+		val := p.newValue(v, CallDef, i)
+		val.CalleeFormal = a
+		i.CallDefs[a] = val
+		*pushed = append(*pushed, v)
+		r.push(v, val)
+	}
+	for k, gv := range p.GlobalVars {
+		g := p.Prog.ScalarGlobals[k]
+		if !r.oracle.ModifiesGlobal(i.Callee, g) {
+			continue
+		}
+		val := p.newValue(gv, CallDef, i)
+		val.CalleeGlobal = g
+		i.CallDefs[i.NumActuals+k] = val
+		*pushed = append(*pushed, gv)
+		r.push(gv, val)
+	}
+}
+
+// containsBlockBefore reports whether list[:i] already contains b.
+func containsBlockBefore(list []*Block, i int, b *Block) bool {
+	for _, x := range list[:i] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,450 @@
+// Package ast defines the abstract syntax tree for MiniFortran programs.
+//
+// A source file holds one Program unit and any number of SUBROUTINE and
+// FUNCTION units. Declarations (type statements, DIMENSION, COMMON,
+// PARAMETER) precede executable statements within each unit, matching
+// FORTRAN-77 layout.
+package ast
+
+import "ipcp/internal/mf/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program structure
+
+// File is a parsed source file: an ordered list of program units.
+type File struct {
+	Units []*Unit
+}
+
+// UnitKind distinguishes the three kinds of program unit.
+type UnitKind int
+
+// Program unit kinds.
+const (
+	ProgramUnit UnitKind = iota
+	SubroutineUnit
+	FunctionUnit
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case ProgramUnit:
+		return "PROGRAM"
+	case SubroutineUnit:
+		return "SUBROUTINE"
+	case FunctionUnit:
+		return "FUNCTION"
+	}
+	return "UNIT"
+}
+
+// Unit is a program unit: the main PROGRAM, a SUBROUTINE, or a FUNCTION.
+type Unit struct {
+	Kind       UnitKind
+	Name       string
+	ResultType BaseType // FunctionUnit only: declared result type
+	Params     []string // formal parameter names, in order
+	Decls      []Decl
+	Body       []Stmt
+	UnitPos    token.Pos
+}
+
+// Pos returns the position of the unit header.
+func (u *Unit) Pos() token.Pos { return u.UnitPos }
+
+// ---------------------------------------------------------------------------
+// Types and declarations
+
+// BaseType is a scalar MiniFortran type.
+type BaseType int
+
+// Scalar types. NoType marks "not declared; use implicit rule".
+const (
+	NoType BaseType = iota
+	Integer
+	Real
+	Logical
+)
+
+func (t BaseType) String() string {
+	switch t {
+	case Integer:
+		return "INTEGER"
+	case Real:
+		return "REAL"
+	case Logical:
+		return "LOGICAL"
+	}
+	return "NOTYPE"
+}
+
+// Decl is implemented by declaration statements.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Declarator introduces one name in a type or DIMENSION statement,
+// optionally with array bounds: `A` or `A(10)` or `A(10,20)`.
+type Declarator struct {
+	Name    string
+	Dims    []Expr // nil for scalars; constant expressions for arrays
+	NamePos token.Pos
+}
+
+// Pos returns the position of the declared name.
+func (d *Declarator) Pos() token.Pos { return d.NamePos }
+
+// TypeDecl is `INTEGER a, b(10)` / `REAL x` / `LOGICAL flag`.
+type TypeDecl struct {
+	Type    BaseType
+	Items   []*Declarator
+	TypePos token.Pos
+}
+
+// DimensionDecl is `DIMENSION a(100), b(10,10)`; element type comes from
+// a type statement or the implicit rule.
+type DimensionDecl struct {
+	Items  []*Declarator
+	DimPos token.Pos
+}
+
+// CommonDecl is `COMMON /blk/ a, b, c`. Variables in a COMMON block are
+// the program's global variables; identity is (block name, position).
+type CommonDecl struct {
+	Block     string // block name, upper-cased; "" for blank common
+	Items     []*Declarator
+	CommonPos token.Pos
+}
+
+// ParameterDecl is `PARAMETER (N = 100, M = N*2)`: named compile-time
+// constants.
+type ParameterDecl struct {
+	Names    []string
+	Values   []Expr
+	ParamPos token.Pos
+}
+
+// ImplicitNoneDecl is `IMPLICIT NONE`: disables implicit typing for the
+// unit, so every name must be declared.
+type ImplicitNoneDecl struct {
+	ImplicitPos token.Pos
+}
+
+// DataDecl is `DATA v /5/, w /2/`: static initialization of variables.
+type DataDecl struct {
+	Names   []string
+	Values  []Expr
+	DataPos token.Pos
+}
+
+// Pos implementations and marker methods for declarations.
+func (d *TypeDecl) Pos() token.Pos         { return d.TypePos }
+func (d *TypeDecl) declNode()              {}
+func (d *DimensionDecl) Pos() token.Pos    { return d.DimPos }
+func (d *DimensionDecl) declNode()         {}
+func (d *CommonDecl) Pos() token.Pos       { return d.CommonPos }
+func (d *CommonDecl) declNode()            {}
+func (d *ParameterDecl) Pos() token.Pos    { return d.ParamPos }
+func (d *ParameterDecl) declNode()         {}
+func (d *ImplicitNoneDecl) Pos() token.Pos { return d.ImplicitPos }
+func (d *ImplicitNoneDecl) declNode()      {}
+func (d *DataDecl) Pos() token.Pos         { return d.DataPos }
+func (d *DataDecl) declNode()              {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by executable statements. Every statement may carry
+// a numeric label (0 when absent), the target of GOTO and labeled DO.
+type Stmt interface {
+	Node
+	Label() int
+	SetLabel(int)
+	stmtNode()
+}
+
+// stmtBase provides label storage shared by all statements.
+type stmtBase struct {
+	label int
+}
+
+func (s *stmtBase) Label() int     { return s.label }
+func (s *stmtBase) SetLabel(l int) { s.label = l }
+func (s *stmtBase) stmtNode()      {}
+
+// AssignStmt is `lhs = rhs`; the left side is a variable or array element.
+type AssignStmt struct {
+	stmtBase
+	LHS *VarRef
+	RHS Expr
+}
+
+// Pos returns the position of the assignment target.
+func (s *AssignStmt) Pos() token.Pos { return s.LHS.Pos() }
+
+// IfStmt is a block IF: IF (cond) THEN ... [ELSEIF...] [ELSE ...] ENDIF.
+// Parsed ELSEIF chains become nested IfStmts in Else.
+type IfStmt struct {
+	stmtBase
+	Cond  Expr
+	Then  []Stmt
+	Else  []Stmt // nil when absent
+	IfPos token.Pos
+}
+
+// Pos returns the position of the IF keyword.
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+
+// LogicalIfStmt is `IF (cond) stmt` with a single action statement.
+type LogicalIfStmt struct {
+	stmtBase
+	Cond  Expr
+	Stmt  Stmt
+	IfPos token.Pos
+}
+
+// Pos returns the position of the IF keyword.
+func (s *LogicalIfStmt) Pos() token.Pos { return s.IfPos }
+
+// DoStmt is a counted DO loop:
+//
+//	DO v = lo, hi [, step] ... ENDDO
+//	DO 10 v = lo, hi [, step] ... 10 CONTINUE
+//
+// EndLabel is nonzero for the labeled form.
+type DoStmt struct {
+	stmtBase
+	Var      string
+	Lo, Hi   Expr
+	Step     Expr // nil means 1
+	Body     []Stmt
+	EndLabel int
+	DoPos    token.Pos
+}
+
+// Pos returns the position of the DO keyword.
+func (s *DoStmt) Pos() token.Pos { return s.DoPos }
+
+// DoWhileStmt is `DO WHILE (cond) ... ENDDO`.
+type DoWhileStmt struct {
+	stmtBase
+	Cond  Expr
+	Body  []Stmt
+	DoPos token.Pos
+}
+
+// Pos returns the position of the DO keyword.
+func (s *DoWhileStmt) Pos() token.Pos { return s.DoPos }
+
+// GotoStmt is `GOTO label`.
+type GotoStmt struct {
+	stmtBase
+	Target  int
+	GotoPos token.Pos
+}
+
+// Pos returns the position of the GOTO keyword.
+func (s *GotoStmt) Pos() token.Pos { return s.GotoPos }
+
+// ContinueStmt is `CONTINUE`: a no-op statement, usually a label carrier.
+type ContinueStmt struct {
+	stmtBase
+	ContinuePos token.Pos
+}
+
+// Pos returns the position of the CONTINUE keyword.
+func (s *ContinueStmt) Pos() token.Pos { return s.ContinuePos }
+
+// CallStmt is `CALL name(args...)` or `CALL name`.
+type CallStmt struct {
+	stmtBase
+	Name    string
+	Args    []Expr
+	CallPos token.Pos
+}
+
+// Pos returns the position of the CALL keyword.
+func (s *CallStmt) Pos() token.Pos { return s.CallPos }
+
+// ReturnStmt is `RETURN`.
+type ReturnStmt struct {
+	stmtBase
+	ReturnPos token.Pos
+}
+
+// Pos returns the position of the RETURN keyword.
+func (s *ReturnStmt) Pos() token.Pos { return s.ReturnPos }
+
+// StopStmt is `STOP`: terminates the program.
+type StopStmt struct {
+	stmtBase
+	StopPos token.Pos
+}
+
+// Pos returns the position of the STOP keyword.
+func (s *StopStmt) Pos() token.Pos { return s.StopPos }
+
+// ReadStmt is `READ v1, v2` or `READ(*,*) v1, v2`: assigns opaque runtime
+// input to each listed variable (the analyzer treats these values as
+// unknowable, i.e. lattice bottom).
+type ReadStmt struct {
+	stmtBase
+	Targets []*VarRef
+	ReadPos token.Pos
+}
+
+// Pos returns the position of the READ keyword.
+func (s *ReadStmt) Pos() token.Pos { return s.ReadPos }
+
+// WriteStmt is `WRITE(*,*) e1, e2` or `PRINT *, e1, e2`: evaluates and
+// outputs each expression.
+type WriteStmt struct {
+	stmtBase
+	Values   []Expr
+	WritePos token.Pos
+}
+
+// Pos returns the position of the WRITE/PRINT keyword.
+func (s *WriteStmt) Pos() token.Pos { return s.WritePos }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	LitPos token.Pos
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	Value  float64
+	Text   string
+	LitPos token.Pos
+}
+
+// StrLit is a character literal (used only in WRITE/PRINT lists).
+type StrLit struct {
+	Value  string
+	LitPos token.Pos
+}
+
+// LogicalLit is `.TRUE.` or `.FALSE.`.
+type LogicalLit struct {
+	Value  bool
+	LitPos token.Pos
+}
+
+// VarRef is a reference to a scalar variable (`N`), an array element
+// (`A(I,J)`), or — before semantic analysis disambiguates — a function
+// call (`F(X)`), since the two are syntactically identical in Fortran.
+type VarRef struct {
+	Name    string
+	Indexes []Expr // nil for scalar references
+	NamePos token.Pos
+}
+
+// CallExpr is a function invocation. The parser produces VarRef for all
+// `name(args)` forms; semantic analysis rewrites those that name
+// functions or intrinsics into CallExpr.
+type CallExpr struct {
+	Name    string
+	Args    []Expr
+	NamePos token.Pos
+}
+
+// UnaryOp is the operator of a UnaryExpr.
+type UnaryOp int
+
+// Unary operators.
+const (
+	Neg UnaryOp = iota // -x
+	Not                // .NOT. x
+)
+
+func (op UnaryOp) String() string {
+	if op == Neg {
+		return "-"
+	}
+	return ".NOT."
+}
+
+// UnaryExpr is `-x` or `.NOT. x`.
+type UnaryExpr struct {
+	Op    UnaryOp
+	X     Expr
+	OpPos token.Pos
+}
+
+// BinaryOp is the operator of a BinaryExpr.
+type BinaryOp int
+
+// Binary operators.
+const (
+	Add BinaryOp = iota // +
+	Sub                 // -
+	Mul                 // *
+	Div                 // /
+	Pow                 // **
+	Eq                  // .EQ.
+	Ne                  // .NE.
+	Lt                  // .LT.
+	Le                  // .LE.
+	Gt                  // .GT.
+	Ge                  // .GE.
+	And                 // .AND.
+	Or                  // .OR.
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Pow: "**",
+	Eq: ".EQ.", Ne: ".NE.", Lt: ".LT.", Le: ".LE.", Gt: ".GT.", Ge: ".GE.",
+	And: ".AND.", Or: ".OR.",
+}
+
+func (op BinaryOp) String() string { return binOpNames[op] }
+
+// IsRelational reports whether op compares two arithmetic operands.
+func (op BinaryOp) IsRelational() bool { return op >= Eq && op <= Ge }
+
+// IsLogical reports whether op combines two logical operands.
+func (op BinaryOp) IsLogical() bool { return op == And || op == Or }
+
+// IsArithmetic reports whether op produces an arithmetic result.
+func (op BinaryOp) IsArithmetic() bool { return op <= Pow }
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	Op   BinaryOp
+	X, Y Expr
+}
+
+// Pos implementations and marker methods for expressions.
+func (e *IntLit) Pos() token.Pos     { return e.LitPos }
+func (e *IntLit) exprNode()          {}
+func (e *RealLit) Pos() token.Pos    { return e.LitPos }
+func (e *RealLit) exprNode()         {}
+func (e *StrLit) Pos() token.Pos     { return e.LitPos }
+func (e *StrLit) exprNode()          {}
+func (e *LogicalLit) Pos() token.Pos { return e.LitPos }
+func (e *LogicalLit) exprNode()      {}
+func (e *VarRef) Pos() token.Pos     { return e.NamePos }
+func (e *VarRef) exprNode()          {}
+func (e *CallExpr) Pos() token.Pos   { return e.NamePos }
+func (e *CallExpr) exprNode()        {}
+func (e *UnaryExpr) Pos() token.Pos  { return e.OpPos }
+func (e *UnaryExpr) exprNode()       {}
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinaryExpr) exprNode()      {}

@@ -1,0 +1,80 @@
+package ast
+
+// RewriteExprs applies f to every expression in the unit's executable
+// statements, bottom-up (children first, then the enclosing expression),
+// replacing each expression with f's result. Assignment targets and READ
+// targets are visited as l-values: their subscript expressions are
+// rewritten but the VarRef node itself is not replaced (a store target
+// cannot become a literal).
+func RewriteExprs(u *Unit, f func(Expr) Expr) {
+	rewriteStmts(u.Body, f)
+}
+
+func rewriteStmts(list []Stmt, f func(Expr) Expr) {
+	for _, s := range list {
+		rewriteStmt(s, f)
+	}
+}
+
+func rewriteStmt(s Stmt, f func(Expr) Expr) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		rewriteLValue(s.LHS, f)
+		s.RHS = rewriteExpr(s.RHS, f)
+	case *IfStmt:
+		s.Cond = rewriteExpr(s.Cond, f)
+		rewriteStmts(s.Then, f)
+		rewriteStmts(s.Else, f)
+	case *LogicalIfStmt:
+		s.Cond = rewriteExpr(s.Cond, f)
+		rewriteStmt(s.Stmt, f)
+	case *DoStmt:
+		s.Lo = rewriteExpr(s.Lo, f)
+		s.Hi = rewriteExpr(s.Hi, f)
+		if s.Step != nil {
+			s.Step = rewriteExpr(s.Step, f)
+		}
+		rewriteStmts(s.Body, f)
+	case *DoWhileStmt:
+		s.Cond = rewriteExpr(s.Cond, f)
+		rewriteStmts(s.Body, f)
+	case *CallStmt:
+		for i := range s.Args {
+			s.Args[i] = rewriteExpr(s.Args[i], f)
+		}
+	case *ReadStmt:
+		for _, t := range s.Targets {
+			rewriteLValue(t, f)
+		}
+	case *WriteStmt:
+		for i := range s.Values {
+			s.Values[i] = rewriteExpr(s.Values[i], f)
+		}
+	}
+}
+
+// rewriteLValue rewrites only the subscripts of a store target.
+func rewriteLValue(ref *VarRef, f func(Expr) Expr) {
+	for i := range ref.Indexes {
+		ref.Indexes[i] = rewriteExpr(ref.Indexes[i], f)
+	}
+}
+
+func rewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	switch e := e.(type) {
+	case *VarRef:
+		for i := range e.Indexes {
+			e.Indexes[i] = rewriteExpr(e.Indexes[i], f)
+		}
+	case *CallExpr:
+		for i := range e.Args {
+			e.Args[i] = rewriteExpr(e.Args[i], f)
+		}
+	case *UnaryExpr:
+		e.X = rewriteExpr(e.X, f)
+	case *BinaryExpr:
+		e.X = rewriteExpr(e.X, f)
+		e.Y = rewriteExpr(e.Y, f)
+	}
+	return f(e)
+}

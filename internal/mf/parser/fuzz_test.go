@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+
+	"ipcp/internal/mf/ast"
+	"ipcp/internal/mf/sema"
+)
+
+// FuzzParse asserts the front end's robustness contract: Parse and
+// Analyze never panic, and any program that parses and checks cleanly
+// must survive a format→reparse→recheck round trip.
+//
+// Run with `go test -fuzz FuzzParse ./internal/mf/parser` for a real
+// fuzzing session; the seed corpus below runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"PROGRAM P\nEND\n",
+		"PROGRAM P\n  INTEGER A(10), I\n  DO I = 1, 10\n    A(I) = I\n  ENDDO\nEND\n",
+		"SUBROUTINE S(A, B)\n  INTEGER A, B\n  A = B**2\n  RETURN\nEND\n",
+		"PROGRAM P\n  IF (1 .LT. 2 .AND. .NOT. .FALSE.) THEN\n  ENDIF\nEND\n",
+		"PROGRAM P\n10 GOTO 10\nEND\n",
+		"PROGRAM P\n  COMMON /B/ X\n  PARAMETER (N = 2**10)\n  READ(*,*) X\nEND\n",
+		"PROGRAM P\n  WRITE(*,*) 'it''s', 1.5E-3, .5\nEND\n",
+		"PROGRAM P\n  A = 1 + & ! comment\n      2\nEND\n",
+		"program p\n  integer function oops\nend\n",
+		"PROGRAM P\n  X = MOD(1, 0) + MAX(1)\nEND\n",
+		"PROGRAM P\n  DO 10 I = 1, 5\n10 CONTINUE\nEND\n",
+		"\x00\x01\x02",
+		"PROGRAM P\n  X = ((((((1))))))\nEND\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep individual cases fast
+		}
+		file, err := Parse(src)
+		if err != nil || file == nil {
+			return
+		}
+		sp, err := sema.Analyze(file)
+		if err != nil || sp == nil {
+			return
+		}
+		// Round trip: a clean program must reparse and recheck.
+		printed := ast.Format(file)
+		file2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("format not reparseable: %v\noriginal: %q\nprinted:\n%s", err, src, printed)
+		}
+		if _, err := sema.Analyze(file2); err != nil {
+			t.Fatalf("reparsed program fails sema: %v\nprinted:\n%s", err, printed)
+		}
+	})
+}

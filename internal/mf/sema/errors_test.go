@@ -1,0 +1,272 @@
+package sema
+
+import "testing"
+
+// Battery of diagnostics: each source must produce an error containing
+// the expected fragment.
+func TestDiagnosticsBattery(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"array bound not constant", `
+PROGRAM P
+  INTEGER N
+  INTEGER A(N)
+END
+`, "not a constant"},
+		{"array bound negative", `
+PROGRAM P
+  INTEGER A(-3)
+END
+`, "must be positive"},
+		{"array redeclared", `
+PROGRAM P
+  INTEGER A(5)
+  DIMENSION A(6)
+END
+`, "redeclared"},
+		{"function result array", `
+INTEGER FUNCTION F(X)
+  INTEGER X
+  INTEGER F(10)
+  RETURN
+END
+PROGRAM P
+END
+`, "cannot be an array"},
+		{"common member count mismatch", `
+PROGRAM P
+  COMMON /B/ X, Y
+END
+SUBROUTINE S
+  COMMON /B/ X, Y, Z
+  RETURN
+END
+`, "members"},
+		{"common name reuse", `
+PROGRAM P
+  INTEGER X
+  COMMON /B/ X
+END
+`, "fresh names"},
+		{"parameter not constant", `
+PROGRAM P
+  INTEGER V
+  PARAMETER (N = V)
+END
+`, "not a constant"},
+		{"duplicate parameter decl", `
+PROGRAM P
+  INTEGER N
+  PARAMETER (N = 1)
+END
+`, "already declared"},
+		{"data on array", `
+PROGRAM P
+  INTEGER A(3)
+  DATA A /1/
+END
+`, "arrays"},
+		{"data on parameter", `
+PROGRAM P
+  PARAMETER (N = 1)
+  DATA N /2/
+END
+`, "cannot initialize"},
+		{"subscripted parameter", `
+PROGRAM P
+  PARAMETER (N = 1)
+  INTEGER X
+  X = N(2)
+END
+`, "N"},
+		{"call function as subroutine", `
+PROGRAM P
+  CALL F(1)
+END
+INTEGER FUNCTION F(X)
+  INTEGER X
+  F = X
+  RETURN
+END
+`, "not a SUBROUTINE"},
+		{"intrinsic arity", `
+PROGRAM P
+  INTEGER X
+  X = MOD(1)
+END
+`, "MOD"},
+		{"intrinsic logical arg", `
+PROGRAM P
+  INTEGER X
+  X = MOD(1, .TRUE.)
+END
+`, "arithmetic"},
+		{"unary minus on logical", `
+PROGRAM P
+  INTEGER X
+  X = -.TRUE.
+END
+`, "arithmetic operand"},
+		{"not on integer", `
+PROGRAM P
+  LOGICAL L
+  L = .NOT. 3
+END
+`, "LOGICAL operand"},
+		{"relational on logical", `
+PROGRAM P
+  LOGICAL L
+  L = .TRUE. .LT. .FALSE.
+END
+`, "arithmetic operands"},
+		{"do while condition type", `
+PROGRAM P
+  INTEGER N
+  DO WHILE (N)
+    N = N - 1
+  ENDDO
+END
+`, "must be LOGICAL"},
+		{"do variable array", `
+PROGRAM P
+  INTEGER A(3)
+  DO A = 1, 3
+  ENDDO
+END
+`, "array"},
+		{"do bound type", `
+PROGRAM P
+  INTEGER I
+  DO I = 1, 2.5
+  ENDDO
+END
+`, "must be INTEGER"},
+		{"call with function in expression position", `
+PROGRAM P
+  INTEGER X
+  X = S(1)
+END
+SUBROUTINE S(A)
+  INTEGER A
+  RETURN
+END
+`, "only FUNCTIONs"},
+		{"undefined function", `
+PROGRAM P
+  INTEGER X, Y
+  X = NOFUNC(Y)
+END
+`, "NOFUNC"},
+		{"scalar with subscripts", `
+PROGRAM P
+  INTEGER X, Y
+  X = 1
+  Y = X(2)
+END
+`, "X"},
+		{"implicit none on data", `
+PROGRAM P
+  IMPLICIT NONE
+  DATA Q /1/
+END
+`, "IMPLICIT NONE"},
+		{"scalar actual to array formal", `
+PROGRAM P
+  INTEGER X
+  CALL S(X)
+END
+SUBROUTINE S(A)
+  INTEGER A(5)
+  RETURN
+END
+`, "array formal"},
+		{"array actual to scalar formal", `
+PROGRAM P
+  INTEGER A(5)
+  CALL S(A)
+END
+SUBROUTINE S(X)
+  INTEGER X
+  RETURN
+END
+`, "scalar formal bound to an array"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analyzeExpectError(t, tc.src, tc.want)
+		})
+	}
+}
+
+// Valid corner cases that must NOT error.
+func TestAcceptedCorners(t *testing.T) {
+	srcs := []string{
+		// Function result assigned through multiple paths.
+		`
+INTEGER FUNCTION PICK(A, B, C)
+  INTEGER A, B, C
+  IF (A .GT. 0) THEN
+    PICK = B
+  ELSE
+    PICK = C
+  ENDIF
+  RETURN
+END
+PROGRAM P
+  INTEGER X
+  X = PICK(1, 2, 3)
+END
+`,
+		// COMMON member refined by later type statement, array via
+		// DIMENSION.
+		`
+PROGRAM P
+  COMMON /B/ N, ARR
+  INTEGER N
+  DIMENSION ARR(10)
+  INTEGER ARR
+  N = 1
+  ARR(1) = 2
+END
+`,
+		// Negative DATA values, real PARAMETER.
+		`
+PROGRAM P
+  INTEGER N
+  REAL X
+  PARAMETER (PI = 3.14159)
+  DATA N /-5/, X /-1.5/
+  N = N + 1
+END
+`,
+		// Intrinsics in every position.
+		`
+PROGRAM P
+  INTEGER I, J
+  REAL X
+  I = MAX(1, 2, 3) + MIN0(4, 5) + IABS(-2) + MOD(9, 4)
+  X = ABS(-1.5)
+  J = MAX(I, 7)
+END
+`,
+		// Logical IF with CALL; empty WRITE.
+		`
+PROGRAM P
+  INTEGER N
+  N = 1
+  IF (N .GT. 0) CALL S(N)
+  WRITE(*,*)
+END
+SUBROUTINE S(A)
+  INTEGER A
+  RETURN
+END
+`,
+	}
+	for i, src := range srcs {
+		if p := analyze(t, src); p == nil {
+			t.Errorf("case %d rejected", i)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ipcp/internal/suite"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Title line",
+		Headers: []string{"Program", "Count"},
+		Rows:    [][]string{{"alpha", "12"}, {"betalonger", "3"}},
+		Note:    "footnote",
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Title line", "Program", "alpha", "betalonger", "footnote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: both numeric cells end at the same column.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") || strings.HasPrefix(l, "betalonger") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 || len(dataLines[0]) != len(dataLines[1]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestFigure1Content(t *testing.T) {
+	f := Figure1()
+	for _, want := range []string{"any ^  T  = any", "any ^ _|_ = _|_", "bounded depth"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+}
+
+func TestTablesOverSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite table generation")
+	}
+	progs := Suite()
+	if len(progs) != 12 {
+		t.Fatalf("suite size: %d", len(progs))
+	}
+	t1 := Table1(progs).Render()
+	t2 := Table2(progs).Render()
+	t3 := Table3(progs).Render()
+	for _, name := range suite.Names() {
+		for i, tb := range []string{t1, t2, t3} {
+			if !strings.Contains(tb, name) {
+				t.Errorf("table %d missing program %s", i+1, name)
+			}
+		}
+	}
+	// Accessors round-trip.
+	if progs[0].Prog() == nil || progs[0].Meta() == nil {
+		t.Error("Loaded accessors broken")
+	}
+	all := All()
+	if !strings.Contains(all, "Table 1") || !strings.Contains(all, "Table 3") {
+		t.Error("All() incomplete")
+	}
+}

@@ -1,0 +1,774 @@
+package suite
+
+import "fmt"
+
+// Each generator below regenerates one row of the paper's tables. The
+// comments state the paper's qualitative result for that program and the
+// structural mechanism used to reproduce it. Counting conventions the
+// mechanisms rely on (see internal/core/count.go):
+//
+//   - a use of a constant formal/global's entry value is one
+//     substituted reference;
+//   - a bare variable at a by-reference call position is substitutable
+//     only when MOD shows the callee does not modify it — so, without
+//     MOD, every by-ref position and every use after a by-ref re-pass
+//     of the same variable stops counting;
+//   - globals are killed at every call under worst-case assumptions, so
+//     call-site global values survive only under MOD (or through a
+//     return jump function whose evaluation folds to a constant).
+
+// genADM — paper: all four flavors equal (110); return JFs no effect;
+// without MOD the count collapses to 25; intraprocedural-only close
+// behind (105).
+//
+// Mechanism: every interprocedural constant enters as a literal actual
+// one call deep (all flavors equal); each stage re-passes its formal by
+// reference to a shared read-only helper and then keeps using it, so
+// most references die without MOD; the helper receives conflicting
+// values (⊥ under every flavor); stages carry local-constant blocks for
+// the intraprocedural baseline.
+func genADM(w *writer, scale int) {
+	stages := 6 * scale
+
+	w.Program("ADM")
+	for k := 0; k < stages; k++ {
+		w.L("CALL STAGE%d(%d)", k, 100+k)
+	}
+	w.End()
+
+	for k := 0; k < stages; k++ {
+		w.Subroutine(fmt.Sprintf("STAGE%d", k), "N")
+		w.L("INTEGER N, LC")
+		w.DeclSinks("M", 4)
+		nloc := 5
+		if k == stages-1 {
+			nloc = 3 // keep the intraprocedural total just below the interprocedural one
+		}
+		w.DeclSinks("L", nloc)
+		w.Uses("M", "N", 1)   // survives even without MOD
+		w.L("CALL SHARED(N)") // by-ref: reference counts only with MOD
+		for i := 1; i < 4; i++ {
+			w.L("M%d = N * %d", i, i+1) // post-re-pass: MOD-dependent
+		}
+		w.L("LC = 7")
+		w.Uses("L", "LC", nloc) // intraprocedural-baseline fodder
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("SHARED", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V + 1") // V meets conflicting constants: ⊥ under every flavor
+	w.L("RETURN")
+	w.End()
+}
+
+// genDODUC — paper: literal 288 ≈ intraprocedural 289 = pass-through =
+// polynomial 289; return JFs worth +2; MOD worth almost nothing (288
+// without); intraprocedural-only finds just 3.
+//
+// Mechanism: a large battery of routines each called once with literal
+// actuals used immediately (before any call); no constant globals; one
+// computed-constant actual (the literal/intraprocedural gap) and one
+// returned-constant pattern (the return-JF gap); almost nothing for the
+// local baseline.
+func genDODUC(w *writer, scale int) {
+	routines := 10 * scale
+
+	w.Program("DODUC")
+	w.L("INTEGER KONST, IV, LC")
+	w.DeclSinks("Q", 3)
+	w.L("KONST = 250") // computed constant: invisible to the literal flavor
+	w.L("IV = 0")
+	w.L("CALL GETSEV(IV)")        // IV = 7 on return: visible only with return JFs
+	w.L("CALL RTN0(KONST, 1, 2)") // first routine sees the computed constant
+	w.L("CALL RTNRET(IV)")
+	for k := 1; k < routines; k++ {
+		w.L("CALL RTN%d(%d, %d, %d)", k, 3*k, 3*k+1, 3*k+2)
+	}
+	w.L("LC = 3")
+	w.Uses("Q", "LC", 3) // the paper's three intraprocedural constants
+	w.End()
+
+	for k := 0; k < routines; k++ {
+		w.Subroutine(fmt.Sprintf("RTN%d", k), "IA", "IB", "IC")
+		w.L("INTEGER IA, IB, IC")
+		nsink := 9
+		if k == 1 {
+			nsink = 10
+		}
+		w.DeclSinks("M", nsink)
+		for i, f := range []string{"IA", "IB", "IC"} {
+			for j := 0; j < 3; j++ {
+				w.L("M%d = %s + %d", 3*i+j, f, j) // used before any call
+			}
+		}
+		if k == 1 {
+			// The single MOD-sensitive spot in the program: a formal
+			// re-passed by reference, then used once more (the paper's
+			// doduc loses exactly one constant without MOD).
+			w.L("CALL LEAF1(IB)")
+			w.L("M9 = IB + 9")
+		} else {
+			w.L("CALL LEAF%d(%d)", k, 7*k) // literal actual, one level deeper
+		}
+		w.L("RETURN")
+		w.End()
+
+		w.Subroutine(fmt.Sprintf("LEAF%d", k), "N")
+		w.L("INTEGER N")
+		w.DeclSinks("M", 3)
+		w.Uses("M", "N", 3)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("GETSEV", "IOUT")
+	w.L("INTEGER IOUT")
+	w.L("IOUT = 7")
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("RTNRET", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 2)
+	w.Uses("M", "N", 2) // +2 with return JFs
+	w.L("RETURN")
+	w.End()
+}
+
+// genFPPPP — paper: literal 49 < intraprocedural 54 < pass-through 60 =
+// polynomial (56 without return JFs); MOD worth a lot (34 without);
+// one routine holds a large share of the code (skewed line counts).
+//
+// Mechanism: a blend — literal actuals (base), computed-constant actuals
+// (+intraprocedural), a three-deep pass-through chain (+pass-through), a
+// returned constant (+return JFs), post-re-pass references (the MOD
+// gap), and one oversized routine.
+func genFPPPP(w *writer, scale int) {
+	w.Program("FPPPP")
+	w.L("INTEGER KDIM, IV")
+	w.L("KDIM = 5 * 5")
+	w.L("IV = 0")
+	w.L("CALL GETLEN(IV)")
+	for k := 0; k < 2*scale; k++ {
+		w.L("CALL ERIC%d(%d, %d)", k, 10+k, 50+k)
+	}
+	w.L("CALL BIGONE(KDIM, 900)")
+	w.L("CALL CHAIN1(%d)", 17)
+	w.L("CALL USELEN(IV)")
+	w.End()
+
+	for k := 0; k < 2*scale; k++ {
+		w.Subroutine(fmt.Sprintf("ERIC%d", k), "I1", "I2")
+		w.L("INTEGER I1, I2, LC")
+		w.DeclSinks("M", 4)
+		w.DeclSinks("L", 3)
+		w.Uses("M", "I1", 2)
+		w.L("CALL FSINK(I1)") // by-ref re-pass
+		w.L("M2 = I1 + I2")   // two references, both MOD-dependent for I1
+		w.L("M3 = I2 * 2")
+		w.L("LC = 9")
+		w.Uses("L", "LC", 3) // intraprocedural baseline
+		w.L("RETURN")
+		w.End()
+	}
+
+	// The skewed giant routine.
+	w.Subroutine("BIGONE", "NDIM", "NMAX")
+	w.L("INTEGER NDIM, NMAX, I")
+	w.DeclSinks("M", 10)
+	w.DeclSinks("L", 8)
+	w.L("INTEGER LC")
+	w.FillerDecls("IF", 20*scale)
+	w.Uses("M", "NDIM", 5)
+	w.Uses("L", "NMAX", 4)
+	w.L("LC = 12")
+	w.L("DO I = 1, NDIM")
+	w.L("  M5 = M5 + LC")
+	w.L("ENDDO")
+	w.L("M6 = NDIM * NMAX")
+	w.L("M7 = NDIM - NMAX")
+	w.FillerBody("IF", 20*scale) // the skewed line-count distribution (Table 1)
+	w.L("RETURN")
+	w.End()
+
+	// Pass-through chain: CHAIN1 → CHAIN2 → CHAIN3.
+	w.Subroutine("CHAIN1", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 1)
+	w.Uses("M", "N", 1)
+	w.L("CALL CHAIN2(N)")
+	w.L("RETURN")
+	w.End()
+	w.Subroutine("CHAIN2", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 2)
+	w.Uses("M", "N", 2)
+	w.L("CALL CHAIN3(N)")
+	w.L("RETURN")
+	w.End()
+	w.Subroutine("CHAIN3", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 2)
+	w.Uses("M", "N", 2)
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("GETLEN", "IOUT")
+	w.L("INTEGER IOUT")
+	w.L("IOUT = 256")
+	w.L("RETURN")
+	w.End()
+	w.Subroutine("USELEN", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 3)
+	w.Uses("M", "N", 3) // +3 with return JFs
+	w.L("RETURN")
+	w.End()
+	w.Subroutine("FSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V")
+	w.L("RETURN")
+	w.End()
+}
+
+// genLINPACKD — paper: literal 94 ≪ intraprocedural 170 = pass-through;
+// without MOD 33; intraprocedural-only 74.
+//
+// Mechanism: the BLAS-style driver keeps its dimension parameters in
+// COMMON, assigns them once in the main program, and every routine reads
+// them; only MOD keeps the globals alive across the call sequence in
+// main. A thinner stream of literal actuals provides the literal
+// baseline, and local constants the intraprocedural one. No pass-through
+// chains, so the pass-through flavor adds nothing over intraprocedural.
+func genLINPACKD(w *writer, scale int) {
+	routines := 5 * scale
+
+	w.Program("LINPAK")
+	w.L("COMMON /DIMS/ N, LDA, NB")
+	w.L("INTEGER N, LDA, NB")
+	w.L("N = 100")
+	w.L("LDA = 201")
+	w.L("NB = 64")
+	for k := 0; k < routines; k++ {
+		w.L("CALL BLAS%d(%d)", k, 1000+k)
+	}
+	w.End()
+
+	for k := 0; k < routines; k++ {
+		w.Subroutine(fmt.Sprintf("BLAS%d", k), "INCX")
+		w.L("COMMON /DIMS/ N, LDA, NB")
+		w.L("INTEGER N, LDA, NB, INCX, LC, I")
+		w.DeclSinks("M", 9)
+		w.DeclSinks("L", 3)
+		// Globals: visible to intraprocedural+ flavors, dead without MOD
+		// for every routine after the first call in main.
+		w.Uses("M", "N", 2)
+		w.L("M2 = LDA + 1")
+		w.L("M3 = NB * 2")
+		w.L("DO I = 1, N")
+		w.L("  M4 = M4 + I")
+		w.L("ENDDO")
+		// Literal actual: the literal-flavor baseline. The stride is
+		// re-passed by reference first, so these references die without
+		// MOD exactly like the global ones (the paper's linpackd keeps
+		// only 33 of 170 constants without MOD).
+		w.L("CALL LSINK(INCX)")
+		w.L("M5 = INCX + 1")
+		w.L("M6 = INCX * 2")
+		w.L("M7 = INCX - 1")
+		w.L("M8 = INCX * 4")
+		// Local constants for the intraprocedural baseline.
+		w.L("LC = 4")
+		w.Uses("L", "LC", 3)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("LSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V") // conflicting strides: ⊥ under every flavor
+	w.L("RETURN")
+	w.End()
+}
+
+// genMATRIX300 — paper: literal 71 < intraprocedural 122 < pass-through
+// 138 = polynomial; without MOD 18; intraprocedural-only 69.
+//
+// Mechanism: dimension parameters computed in the driver flow down a
+// three-level call chain as pass-through formals, with references both
+// before and after each re-pass (the post-re-pass ones die without MOD).
+func genMATRIX300(w *writer, scale int) {
+	chains := 3 * scale
+
+	w.Program("MTX300")
+	w.L("INTEGER LDA, N")
+	w.L("LDA = 301")
+	w.L("N = 300")
+	for k := 0; k < chains; k++ {
+		w.L("CALL MXM%d(LDA, N, %d)", k, 8+k)
+	}
+	w.End()
+
+	for k := 0; k < chains; k++ {
+		// Level 1: sees computed constants (intraprocedural+).
+		w.Subroutine(fmt.Sprintf("MXM%d", k), "LDA", "N", "NBLK")
+		w.L("INTEGER LDA, N, NBLK")
+		w.DeclSinks("M", 6)
+		w.L("M0 = LDA - N")  // two refs, pre-call
+		w.L("M1 = NBLK + 1") // literal-flavor refs
+		w.L("M4 = NBLK * 2")
+		w.L("M5 = NBLK - 3")
+		w.L("CALL MXV%d(LDA, N)", k)
+		w.L("M2 = LDA + 1") // post-re-pass: MOD-dependent
+		w.L("M3 = N + 2")
+		w.L("RETURN")
+		w.End()
+
+		// Level 2: reachable only through pass-through.
+		w.Subroutine(fmt.Sprintf("MXV%d", k), "LDA", "N")
+		w.L("INTEGER LDA, N")
+		w.DeclSinks("M", 4)
+		w.L("M0 = LDA * 2")
+		w.L("M1 = N - 1")
+		w.L("CALL DOT%d(N)", k)
+		w.L("M2 = N + 3") // post-re-pass
+		w.L("RETURN")
+		w.End()
+
+		// Level 3.
+		w.Subroutine(fmt.Sprintf("DOT%d", k), "N")
+		w.L("INTEGER N, LC")
+		w.DeclSinks("M", 2)
+		w.DeclSinks("L", 3)
+		w.Uses("M", "N", 2)
+		w.L("LC = 30")
+		w.Uses("L", "LC", 3) // intraprocedural baseline
+		w.L("RETURN")
+		w.End()
+	}
+}
+
+// genMDG — paper (small program): literal 31 < intraprocedural 40 =
+// pass-through; return JFs worth +1 (41); without MOD back to the
+// literal level (31); intraprocedural-only 31.
+//
+// Mechanism: a computed global drives the intraprocedural gap and dies
+// without MOD (the assignments sit before an unrelated call); a single
+// returned constant provides the +1.
+func genMDG(w *writer, scale int) {
+	w.Program("MDG")
+	w.L("COMMON /CTRL/ NMOL, NATM")
+	w.L("INTEGER NMOL, NATM, IV")
+	w.L("NMOL = 343")
+	w.L("NATM = 3")
+	w.L("IV = 0")
+	w.L("CALL PREP")
+	for k := 0; k < 2*scale; k++ {
+		w.L("CALL WAVE%d(%d)", k, 20+k)
+	}
+	w.L("CALL GETONE(IV)")
+	w.L("CALL LAST(IV)")
+	w.End()
+
+	w.Subroutine("PREP")
+	w.L("INTEGER W")
+	w.L("W = 0")
+	w.L("RETURN")
+	w.End()
+
+	for k := 0; k < 2*scale; k++ {
+		w.Subroutine(fmt.Sprintf("WAVE%d", k), "ISTEP")
+		w.L("COMMON /CTRL/ NMOL, NATM")
+		w.L("INTEGER NMOL, NATM, ISTEP, LC")
+		w.DeclSinks("M", 7)
+		w.DeclSinks("L", 4)
+		// Globals: alive only with MOD (PREP precedes in main).
+		w.L("M0 = NMOL + 1")
+		w.L("M1 = NATM * 2")
+		w.L("M2 = NMOL - NATM")
+		// Literal actual.
+		w.L("M3 = ISTEP + 1")
+		w.L("M4 = ISTEP * 3")
+		w.L("M5 = ISTEP - 1")
+		w.L("M6 = ISTEP + 2")
+		// Local constants.
+		w.L("LC = 2")
+		w.Uses("L", "LC", 4)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("GETONE", "IOUT")
+	w.L("INTEGER IOUT")
+	w.L("IOUT = 1")
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("LAST", "N")
+	w.L("INTEGER N, W")
+	w.L("W = N + 1") // +1 with return JFs
+	w.L("RETURN")
+	w.End()
+}
+
+// genOCEAN — paper's headline return-JF result: 57 literal, 62 without
+// return JFs, 194 with them (all flavors equal), 204 under complete
+// propagation, 79 without MOD; intraprocedural-only 56.
+//
+// Mechanism: an initialization routine assigns constants to the grid
+// COMMON; every timestep routine reads the grid block; two of the
+// globals sit behind a debug-only READ that complete propagation
+// removes. Half of each step's references come after an internal kernel
+// call, so the no-MOD run loses them.
+func genOCEAN(w *writer, scale int) {
+	steps := 4 * scale
+
+	w.Program("OCEAN")
+	w.L("COMMON /GRID/ NX, NY, NZ, NT")
+	w.L("INTEGER NX, NY, NZ, NT, KICK")
+	w.L("KICK = 3 * 11") // computed constant: the small no-return-JF margin over literal
+	w.L("CALL SETUP(0)")
+	for k := 0; k < steps; k++ {
+		w.L("CALL STEP%d(%d, KICK + 0)", k, 30+k)
+	}
+	w.End()
+
+	w.Subroutine("SETUP", "IDBG")
+	w.L("COMMON /GRID/ NX, NY, NZ, NT")
+	w.L("INTEGER NX, NY, NZ, NT, IDBG")
+	w.L("NX = 64")
+	w.L("NY = 32")
+	w.L("NZ = 16")
+	w.L("NT = 100")
+	w.L("IF (IDBG .NE. 0) THEN")
+	w.L("  READ NZ")
+	w.L("  READ NT")
+	w.L("ENDIF")
+	w.L("RETURN")
+	w.End()
+
+	for k := 0; k < steps; k++ {
+		w.Subroutine(fmt.Sprintf("STEP%d", k), "ITER", "NKICK")
+		w.L("COMMON /GRID/ NX, NY, NZ, NT")
+		w.L("INTEGER NX, NY, NZ, NT, ITER, NKICK, I, LC")
+		w.DeclSinks("M", 9)
+		w.DeclSinks("L", 2)
+		w.L("M8 = NKICK + 1") // computed-constant actual: visible without return JFs
+		// Constants from the initialization routine (return JFs only).
+		w.L("M0 = NX + 1")
+		w.L("M1 = NY * 2")
+		w.L("DO I = 1, NX")
+		w.L("  M2 = M2 + I")
+		w.L("ENDDO")
+		// The debug-guarded globals: complete propagation only.
+		w.L("M3 = NZ + 1")
+		w.L("M4 = NT - 1")
+		// Literal actual baseline.
+		w.L("M5 = ITER + 1")
+		w.L("CALL KERNEL(ITER)")
+		// Post-call global references: lost without MOD.
+		w.L("M6 = NX * NY")
+		w.L("M7 = NY + NX")
+		// Local constants.
+		w.L("LC = 8")
+		w.Uses("L", "LC", 2)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("KERNEL", "IT")
+	w.L("INTEGER IT, W")
+	w.L("W = IT") // conflicting literals: ⊥
+	w.L("RETURN")
+	w.End()
+}
+
+// genQCD — paper: all flavors equal (180); MOD worth a little (169
+// without); intraprocedural-only just one behind (179).
+//
+// Mechanism: lattice constants live as literal actuals used before any
+// call (flavor-independent, mostly MOD-independent), one global block
+// provides the small MOD gap, and heavy local-constant blocks bring the
+// intraprocedural baseline within one reference of the interprocedural
+// count.
+func genQCD(w *writer, scale int) {
+	routines := 6 * scale
+
+	w.Program("QCD")
+	for k := 0; k < routines; k++ {
+		w.L("CALL UPD%d(%d, %d)", k, 4+k, 16+k)
+	}
+	w.End()
+
+	for k := 0; k < routines; k++ {
+		w.Subroutine(fmt.Sprintf("UPD%d", k), "MU", "NU")
+		w.L("INTEGER MU, NU, LC")
+		w.DeclSinks("M", 4)
+		w.DeclSinks("L", 5)
+		// Literal actuals, used immediately (flavor-independent).
+		w.Uses("M", "MU", 2)
+		w.L("M2 = NU + 1")
+		w.L("M3 = NU * MU")
+		// One by-reference re-pass at the end: the reference counts only
+		// with MOD (the small Table 3 gap), and the sink receives
+		// conflicting values so no flavor gains from it.
+		w.L("CALL QSINK(MU)")
+		// Local constants: nearly one-for-one with the above.
+		w.L("LC = 6")
+		w.Uses("L", "LC", 5)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("QSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V")
+	w.L("RETURN")
+	w.End()
+}
+
+// genSIMPLE — paper: literal 174 < intraprocedural 179 < pass-through
+// 183; the no-MOD run collapses to 2; one routine dominates the line
+// count; intraprocedural-only 174.
+//
+// Mechanism: every routine re-passes its formals by reference to a
+// shared helper *first* and uses them afterwards, so with worst-case
+// call assumptions almost nothing survives — exactly two references sit
+// before any call. Computed-constant and pass-through extras provide the
+// small flavor gaps.
+func genSIMPLE(w *writer, scale int) {
+	routines := 5 * scale
+
+	w.Program("SIMPLE")
+	w.L("COMMON /HYDRO/ NCYC")
+	w.L("INTEGER NCYC, KK")
+	w.L("NCYC = 12")
+	w.L("KK = 9 * 9")
+	for k := 0; k < routines; k++ {
+		w.L("CALL HYD%d(%d)", k, 40+k)
+	}
+	w.L("CALL BIGHYD(KK, 777)")
+	w.L("CALL CH1(55)")
+	w.End()
+
+	for k := 0; k < routines; k++ {
+		w.Subroutine(fmt.Sprintf("HYD%d", k), "N")
+		w.L("INTEGER N, LC")
+		w.DeclSinks("M", 5)
+		w.DeclSinks("L", 5)
+		w.L("CALL HSINK(N)") // re-pass first: everything below is MOD-dependent
+		w.Uses("M", "N", 5)
+		w.L("LC = 14")
+		w.Uses("L", "LC", 5) // intraprocedural baseline
+		w.L("RETURN")
+		w.End()
+	}
+
+	// The dominant routine (skewed distribution; Table 1 calls this out).
+	w.Subroutine("BIGHYD", "KDIM", "NLIT")
+	w.L("COMMON /HYDRO/ NCYC")
+	w.L("INTEGER NCYC, KDIM, NLIT, I, LC")
+	w.DeclSinks("M", 14)
+	w.DeclSinks("L", 6)
+	w.FillerDecls("IH", 20*scale)
+	w.L("M0 = NLIT + 1") // the two MOD-independent references
+	w.L("M1 = NLIT * 2")
+	w.L("CALL HSINK(KDIM)")
+	for i := 2; i < 8; i++ {
+		w.L("M%d = KDIM + %d", i, i) // computed-constant refs, MOD-dependent
+	}
+	w.L("M8 = NCYC + 1") // global refs (post-call): MOD-dependent
+	w.L("M9 = NCYC * 2")
+	w.L("DO I = 1, KDIM")
+	w.L("  M10 = M10 + I")
+	w.L("ENDDO")
+	w.L("LC = 5")
+	w.Uses("L", "LC", 6)
+	w.FillerBody("IH", 20*scale) // the dominant-routine skew (Table 1)
+	w.L("RETURN")
+	w.End()
+
+	// A short pass-through chain for the pass-through gap.
+	w.Subroutine("CH1", "N")
+	w.L("INTEGER N")
+	w.L("CALL CH2(N)")
+	w.L("RETURN")
+	w.End()
+	w.Subroutine("CH2", "N")
+	w.L("INTEGER N")
+	w.DeclSinks("M", 4)
+	w.L("CALL HSINK(N)")
+	w.Uses("M", "N", 4)
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("HSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V") // conflicting values: ⊥
+	w.L("RETURN")
+	w.End()
+}
+
+// genSNASA7 — paper: literal 254 < intraprocedural 336 = pass-through;
+// without MOD 303 (mild); intraprocedural-only 254.
+//
+// Mechanism: the seven kernels receive a mix of literal and
+// computed-constant actuals and use them at the top of each routine
+// (before any call), so the no-MOD run keeps most references; a small
+// post-call tail provides the mild MOD gap; local constants match the
+// literal count for the baseline.
+func genSNASA7(w *writer, scale int) {
+	kernels := 7
+	perKernel := 2 * scale
+
+	w.Program("SNASA7")
+	w.L("INTEGER KSZ")
+	w.L("KSZ = 512")
+	for k := 0; k < kernels; k++ {
+		for j := 0; j < perKernel; j++ {
+			w.L("CALL KRN%d%d(%d, KSZ + 0)", k, j, 60+10*k+j)
+		}
+	}
+	w.End()
+
+	for k := 0; k < kernels; k++ {
+		for j := 0; j < perKernel; j++ {
+			w.Subroutine(fmt.Sprintf("KRN%d%d", k, j), "N", "NSZ")
+			w.L("INTEGER N, NSZ, LC")
+			w.DeclSinks("M", 7)
+			w.DeclSinks("L", 3)
+			// Literal actual: three refs before any call.
+			w.Uses("M", "N", 3)
+			// Computed-constant actual: three refs before any call.
+			w.L("M3 = NSZ + 1")
+			w.L("M4 = NSZ * 2")
+			w.L("M5 = NSZ - N")
+			w.L("CALL KSINK(N)")
+			w.L("M6 = N + 9") // the mild MOD-dependent tail
+			// Local constants sized to the literal count.
+			w.L("LC = 11")
+			w.Uses("L", "LC", 3)
+			w.L("RETURN")
+			w.End()
+		}
+	}
+
+	w.Subroutine("KSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V")
+	w.L("RETURN")
+	w.End()
+}
+
+// genSPEC77 — paper: literal 104 < intraprocedural 137 = pass-through;
+// return jump functions make no difference; complete propagation adds a
+// few (141); without MOD 76; intraprocedural-only 83.
+//
+// Mechanism: a weather-model driver that assigns its COMMON resolution
+// parameters directly in the main program — one of them behind a
+// debug-only READ whose guard is a local constant, so only complete
+// propagation (which folds the guard and removes the READ) exposes it.
+// Computed-constant actuals and post-call references provide the
+// literal and MOD gaps; no returned constants anywhere, so return jump
+// functions change nothing.
+func genSPEC77(w *writer, scale int) {
+	routines := 4 * scale
+
+	w.Program("SPEC77")
+	w.L("COMMON /ATMO/ NLEV, NLON")
+	w.L("INTEGER NLEV, NLON, KRES, IDBG")
+	w.L("KRES = 42")
+	w.L("IDBG = 0")
+	w.L("NLEV = 12")
+	w.L("NLON = 96")
+	w.L("IF (IDBG .NE. 0) THEN")
+	w.L("  READ NLEV")
+	w.L("ENDIF")
+	for k := 0; k < routines; k++ {
+		// KRES travels as an expression so the by-reference binding
+		// does not kill it under worst-case assumptions.
+		w.L("CALL GLOOP%d(%d, KRES + 0)", k, 70+k)
+	}
+	w.End()
+
+	for k := 0; k < routines; k++ {
+		w.Subroutine(fmt.Sprintf("GLOOP%d", k), "N", "NR")
+		w.L("COMMON /ATMO/ NLEV, NLON")
+		w.L("INTEGER NLEV, NLON, N, NR, LC")
+		w.DeclSinks("M", 8)
+		w.DeclSinks("L", 4)
+		// Literal actual refs.
+		w.Uses("M", "N", 2)
+		// Computed-constant actual refs.
+		w.L("M2 = NR + 1")
+		w.L("M3 = NR * 2")
+		// NLON is assigned unconditionally in main; NLEV hides behind
+		// the debug guard and needs complete propagation.
+		w.L("M4 = NLON + 1")
+		w.L("M5 = NLEV + 1")
+		w.L("CALL SSINK(N)")
+		w.L("M6 = N + 4")    // post-re-pass
+		w.L("M7 = NLON * 2") // post-call global
+		w.L("LC = 3")
+		w.Uses("L", "LC", 4)
+		w.L("RETURN")
+		w.End()
+	}
+
+	w.Subroutine("SSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V")
+	w.L("RETURN")
+	w.End()
+}
+
+// genTRFD — paper (smallest program): every flavor finds the same 16;
+// without MOD 10; intraprocedural-only 15.
+//
+// Mechanism: a two-phase integral transform with literal actuals, a few
+// post-call references, and a local-constant block one short of the
+// interprocedural count.
+func genTRFD(w *writer, scale int) {
+	w.Program("TRFD")
+	w.L("INTEGER NB")
+	w.L("NB = 10 + 0*%d", scale) // scale-independent tiny program
+	w.L("CALL TRF1(40)")
+	w.L("CALL TRF2(80)") // distinct values: the shared sink stays ⊥ under every flavor
+	w.End()
+
+	w.Subroutine("TRF1", "N")
+	w.L("INTEGER N, LC")
+	w.DeclSinks("M", 8)
+	w.DeclSinks("L", 8)
+	w.Uses("M", "N", 5)
+	w.L("CALL TSINK(N)")
+	w.L("M5 = N + 1")
+	w.L("M6 = N + 2")
+	w.L("M7 = N + 3")
+	w.L("LC = 20")
+	w.Uses("L", "LC", 8)
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("TRF2", "N")
+	w.L("INTEGER N, LC")
+	w.DeclSinks("M", 8)
+	w.DeclSinks("L", 7)
+	w.Uses("M", "N", 5)
+	w.L("CALL TSINK(N)")
+	w.L("M5 = N * 2")
+	w.L("M6 = N * 3")
+	w.L("M7 = N * 4")
+	w.L("LC = 21")
+	w.Uses("L", "LC", 7)
+	w.L("RETURN")
+	w.End()
+
+	w.Subroutine("TSINK", "V")
+	w.L("INTEGER V, W")
+	w.L("W = V")
+	w.L("RETURN")
+	w.End()
+}

@@ -1,0 +1,183 @@
+package suite
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Random generates a random but always-valid MiniFortran program from a
+// seed. The generator exists for property testing: the analyzer's
+// invariants (flavor containment, solver equivalence, monotonicity in
+// MOD and return-jump-function information, print/reparse stability)
+// must hold on arbitrary call structures, not just the hand-built
+// benchmark suite.
+//
+// The call graph is acyclic by construction (procedure i only calls
+// procedures with larger indices), every variable is declared INTEGER,
+// and all generated expressions avoid division (so no fold can fail for
+// arithmetic reasons the properties would have to special-case).
+func Random(seed int64, size int) *Program {
+	if size < 1 {
+		size = 1
+	}
+	g := &randGen{r: rand.New(rand.NewSource(seed)), w: newWriter()}
+	nprocs := 2 + g.r.Intn(size+2)
+
+	// Shared COMMON block.
+	g.globals = []string{"IG0", "IG1", "IG2"}
+
+	// Pre-plan signatures so calls can be generated before bodies.
+	g.formals = make([][]string, nprocs)
+	for i := range g.formals {
+		n := g.r.Intn(3)
+		for k := 0; k < n; k++ {
+			g.formals[i] = append(g.formals[i], fmt.Sprintf("IP%d", k))
+		}
+	}
+
+	g.emitMain(nprocs)
+	for i := 0; i < nprocs; i++ {
+		g.emitProc(i, nprocs)
+	}
+	return &Program{
+		Name:   fmt.Sprintf("random-%d", seed),
+		Source: g.w.String(),
+		Traits: "randomly generated (property-test fodder)",
+	}
+}
+
+type randGen struct {
+	r       *rand.Rand
+	w       *writer
+	globals []string
+	formals [][]string
+
+	// Per-procedure generation state.
+	locals   []string
+	nextLoop int
+	scope    []string // all readable scalars
+}
+
+func (g *randGen) common() {
+	g.w.L("COMMON /RNG/ %s", strings.Join(g.globals, ", "))
+	g.w.L("INTEGER %s", strings.Join(g.globals, ", "))
+}
+
+// beginScope prepares locals for one unit.
+func (g *randGen) beginScope(formals []string) {
+	g.locals = nil
+	g.nextLoop = 0
+	n := 1 + g.r.Intn(4)
+	for k := 0; k < n; k++ {
+		g.locals = append(g.locals, fmt.Sprintf("IL%d", k))
+	}
+	g.scope = append(append(append([]string{}, formals...), g.locals...), g.globals...)
+}
+
+func (g *randGen) declare(formals []string) {
+	g.common()
+	names := append(append([]string{}, formals...), g.locals...)
+	// Loop variables are pre-allocated generously.
+	for k := 0; k < 4; k++ {
+		names = append(names, fmt.Sprintf("ILV%d", k))
+	}
+	g.w.L("INTEGER %s", strings.Join(names, ", "))
+}
+
+func (g *randGen) emitMain(nprocs int) {
+	g.w.Program("RANDP")
+	g.beginScope(nil)
+	g.declare(nil)
+	// Seed some state so the program has constants to find.
+	g.stmts(2+g.r.Intn(4), 0, nprocs)
+	g.w.End()
+}
+
+func (g *randGen) emitProc(i, nprocs int) {
+	g.w.Subroutine(fmt.Sprintf("RP%d", i), g.formals[i]...)
+	g.beginScope(g.formals[i])
+	g.declare(g.formals[i])
+	g.stmts(1+g.r.Intn(5), i+1, nprocs)
+	g.w.L("RETURN")
+	g.w.End()
+}
+
+// stmts emits n statements; calls may target procedures in [from, nprocs).
+func (g *randGen) stmts(n, from, nprocs int) {
+	for k := 0; k < n; k++ {
+		g.stmt(from, nprocs)
+	}
+}
+
+func (g *randGen) stmt(from, nprocs int) {
+	switch g.r.Intn(10) {
+	case 0, 1, 2, 3: // assignment
+		g.w.L("%s = %s", g.pick(g.scope), g.expr(2))
+	case 4: // conditional
+		g.w.L("IF (%s %s %s) THEN", g.expr(1), g.relop(), g.expr(1))
+		g.w.indent++
+		g.stmts(1+g.r.Intn(2), from, nprocs)
+		g.w.indent--
+		if g.r.Intn(2) == 0 {
+			g.w.L("ELSE")
+			g.w.indent++
+			g.stmts(1, from, nprocs)
+			g.w.indent--
+		}
+		g.w.L("ENDIF")
+	case 5: // loop
+		if g.nextLoop >= 4 {
+			g.w.L("%s = %s", g.pick(g.scope), g.expr(1))
+			return
+		}
+		lv := fmt.Sprintf("ILV%d", g.nextLoop)
+		g.nextLoop++
+		g.w.L("DO %s = %s, %s", lv, g.expr(0), g.expr(1))
+		g.w.indent++
+		g.stmts(1, from, nprocs)
+		g.w.indent--
+		g.w.L("ENDDO")
+		g.nextLoop--
+	case 6: // input
+		g.w.L("READ %s", g.pick(g.scope))
+	case 7: // output
+		g.w.L("WRITE(*,*) %s", g.expr(1))
+	default: // call
+		if from >= nprocs {
+			g.w.L("%s = %s", g.pick(g.scope), g.expr(1))
+			return
+		}
+		callee := from + g.r.Intn(nprocs-from)
+		args := make([]string, len(g.formals[callee]))
+		for a := range args {
+			switch g.r.Intn(3) {
+			case 0:
+				args[a] = fmt.Sprintf("%d", g.r.Intn(10))
+			case 1:
+				args[a] = g.pick(g.scope)
+			default:
+				args[a] = g.expr(1)
+			}
+		}
+		g.w.L("CALL RP%d(%s)", callee, strings.Join(args, ", "))
+	}
+}
+
+func (g *randGen) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+func (g *randGen) relop() string {
+	ops := []string{".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}
+	return ops[g.r.Intn(len(ops))]
+}
+
+func (g *randGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return fmt.Sprintf("%d", g.r.Intn(10))
+		}
+		return g.pick(g.scope)
+	}
+	ops := []string{"+", "-", "*"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.r.Intn(len(ops))], g.expr(depth-1))
+}

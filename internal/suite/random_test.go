@@ -1,0 +1,137 @@
+package suite
+
+import (
+	"testing"
+
+	"ipcp"
+)
+
+// The property tests below run the analyzer over randomly generated
+// programs (see Random). They check invariants that must hold for *any*
+// valid input, not just the curated benchmark suite.
+
+const randomSeeds = 40
+
+func randomPrograms(t *testing.T) []*ipcp.Program {
+	t.Helper()
+	var progs []*ipcp.Program
+	for seed := int64(1); seed <= randomSeeds; seed++ {
+		p := Random(seed, 6)
+		prog, err := ipcp.Load(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d generates invalid source: %v\n%s", seed, err, p.Source)
+		}
+		progs = append(progs, prog)
+	}
+	return progs
+}
+
+// Property: the subset containment of §3.1 — each flavor finds at least
+// the substitutions of every simpler flavor — holds on arbitrary
+// programs, including ones with genuinely polynomial actuals (where
+// polynomial may strictly beat pass-through, unlike on the paper's
+// suite).
+func TestRandomFlavorContainment(t *testing.T) {
+	for i, prog := range randomPrograms(t) {
+		prev := -1
+		for _, flavor := range ipcp.JumpFunctions {
+			rep := prog.Analyze(ipcp.Config{Jump: flavor, ReturnJumpFunctions: true, MOD: true})
+			if rep.TotalSubstituted < prev {
+				t.Errorf("seed %d: flavor %v finds %d < previous %d",
+					i+1, flavor, rep.TotalSubstituted, prev)
+			}
+			prev = rep.TotalSubstituted
+		}
+	}
+}
+
+// Property: MOD information never loses substitutions, and return jump
+// functions never lose substitutions (both only add precision).
+func TestRandomMonotonicity(t *testing.T) {
+	for i, prog := range randomPrograms(t) {
+		full := prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true})
+		noMod := prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: false})
+		noRet := prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: false, MOD: true})
+		if noMod.TotalSubstituted > full.TotalSubstituted {
+			t.Errorf("seed %d: no-MOD found more (%d > %d)", i+1, noMod.TotalSubstituted, full.TotalSubstituted)
+		}
+		if noRet.TotalSubstituted > full.TotalSubstituted {
+			t.Errorf("seed %d: no-return-JFs found more (%d > %d)", i+1, noRet.TotalSubstituted, full.TotalSubstituted)
+		}
+	}
+}
+
+// Property: the dependence-driven solver computes exactly the same
+// answer as the simple worklist.
+func TestRandomSolverEquivalence(t *testing.T) {
+	for i, prog := range randomPrograms(t) {
+		a := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+		b := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true})
+		if a.TotalSubstituted != b.TotalSubstituted || a.TotalConstants != b.TotalConstants {
+			t.Errorf("seed %d: solvers disagree: %d/%d vs %d/%d",
+				i+1, a.TotalSubstituted, a.TotalConstants, b.TotalSubstituted, b.TotalConstants)
+		}
+	}
+}
+
+// Property: analysis is deterministic.
+func TestRandomDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		src := Random(seed, 6).Source
+		if src != Random(seed, 6).Source {
+			t.Fatalf("seed %d: generation nondeterministic", seed)
+		}
+		prog := ipcp.MustLoad(src)
+		cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true}
+		a := prog.Analyze(cfg)
+		b := prog.Analyze(cfg)
+		if a.TotalSubstituted != b.TotalSubstituted || a.TotalConstants != b.TotalConstants {
+			t.Errorf("seed %d: analysis nondeterministic", seed)
+		}
+	}
+}
+
+// Property: printing and reparsing a program preserves the analysis
+// results exactly (the printer is semantics-preserving).
+func TestRandomPrintReanalyze(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		prog := ipcp.MustLoad(Random(seed, 6).Source)
+		reparsed, err := ipcp.Load(prog.Format())
+		if err != nil {
+			t.Fatalf("seed %d: formatted source does not reload: %v", seed, err)
+		}
+		cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+		a := prog.Analyze(cfg)
+		b := reparsed.Analyze(cfg)
+		if a.TotalSubstituted != b.TotalSubstituted || a.TotalConstants != b.TotalConstants {
+			t.Errorf("seed %d: reparse changed results: %d/%d vs %d/%d",
+				seed, a.TotalSubstituted, a.TotalConstants, b.TotalSubstituted, b.TotalConstants)
+		}
+	}
+}
+
+// Property: complete propagation terminates within the round budget and
+// never panics on random inputs (its count may legitimately move in
+// either direction when dead references are removed).
+func TestRandomCompletePropagationTerminates(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		prog := ipcp.MustLoad(Random(seed, 6).Source)
+		rep := prog.Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true})
+		if rep.DCERounds > 9 {
+			t.Errorf("seed %d: DCE did not converge (%d rounds)", seed, rep.DCERounds)
+		}
+	}
+}
+
+// Property: cloning never decreases the substitution count.
+func TestRandomCloningMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		prog := ipcp.MustLoad(Random(seed, 6).Source)
+		cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true}
+		out := prog.AnalyzeWithCloning(cfg, ipcp.CloneOptions{})
+		if out.Final.TotalSubstituted < out.Base.TotalSubstituted {
+			t.Errorf("seed %d: cloning lost substitutions: %d -> %d",
+				seed, out.Base.TotalSubstituted, out.Final.TotalSubstituted)
+		}
+	}
+}

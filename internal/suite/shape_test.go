@@ -1,0 +1,52 @@
+package suite
+
+import (
+	"testing"
+
+	"ipcp"
+)
+
+// TestPolynomialJumpFunctionsAreRare reproduces §3.1.5's empirical
+// observation: "In practice, we found that the number of complex
+// polynomial jump functions actually constructed is small. Taken over
+// the program, cost(J) approaches the cost of pass-through parameter
+// jump functions and |support(J)| approaches 1."
+func TestPolynomialJumpFunctionsAreRare(t *testing.T) {
+	totalJFs := 0
+	totalPoly := 0
+	supportSum := 0
+	supportCount := 0
+	for _, p := range Programs() {
+		prog := ipcp.MustLoad(p.Source)
+		rep := prog.Analyze(ipcp.Config{
+			Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true,
+		})
+		s := rep.JumpFunctionShape
+		totalJFs += s.Bottom + s.Constant + s.PassThrough + s.Polynomial
+		totalPoly += s.Polynomial
+		supportSum += s.SupportSum
+		supportCount += s.PassThrough + s.Polynomial
+	}
+	if totalJFs == 0 {
+		t.Fatal("no jump functions built")
+	}
+	// Complex polynomial forms are a small fraction of all jump
+	// functions (<10% over the suite).
+	if totalPoly*10 > totalJFs {
+		t.Errorf("polynomial forms = %d of %d (>10%%)", totalPoly, totalJFs)
+	}
+	// Mean support size approaches 1 (< 1.5 over the suite).
+	if supportCount > 0 && supportSum*2 > supportCount*3 {
+		t.Errorf("mean support = %d/%d, not close to 1", supportSum, supportCount)
+	}
+	t.Logf("suite: %d jump functions, %d polynomial (%.1f%%), mean support %.2f",
+		totalJFs, totalPoly, 100*float64(totalPoly)/float64(totalJFs),
+		float64(supportSum)/float64(max(1, supportCount)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

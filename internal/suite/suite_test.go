@@ -1,0 +1,292 @@
+package suite
+
+import (
+	"testing"
+
+	"ipcp"
+)
+
+// results bundles every configuration the paper's tables use, for one
+// program.
+type results struct {
+	name string
+	// Table 2: the four flavors with return JFs + MOD.
+	lit, intra, pass, poly int
+	// Table 2, last columns: polynomial / pass-through without return JFs.
+	polyNoRet, passNoRet int
+	// Table 3: polynomial without MOD; complete propagation;
+	// intraprocedural-only.
+	polyNoMOD int
+	complete  int
+	intraOnly int
+}
+
+func run(t *testing.T, name string) results {
+	t.Helper()
+	p := Generate(name, DefaultScale)
+	if p == nil {
+		t.Fatalf("unknown program %s", name)
+	}
+	prog, err := ipcp.Load(p.Source)
+	if err != nil {
+		t.Fatalf("%s does not load: %v\n%s", name, err, p.Source)
+	}
+	cfg := func(j ipcp.JumpFunction, ret, mod, complete bool) int {
+		return prog.Analyze(ipcp.Config{
+			Jump: j, ReturnJumpFunctions: ret, MOD: mod, Complete: complete,
+		}).TotalSubstituted
+	}
+	return results{
+		name:      name,
+		lit:       cfg(ipcp.Literal, true, true, false),
+		intra:     cfg(ipcp.Intraprocedural, true, true, false),
+		pass:      cfg(ipcp.PassThrough, true, true, false),
+		poly:      cfg(ipcp.Polynomial, true, true, false),
+		polyNoRet: cfg(ipcp.Polynomial, false, true, false),
+		passNoRet: cfg(ipcp.PassThrough, false, true, false),
+		polyNoMOD: cfg(ipcp.Polynomial, true, false, false),
+		complete:  cfg(ipcp.Polynomial, true, true, true),
+		intraOnly: prog.AnalyzeIntraprocedural().TotalSubstituted,
+	}
+}
+
+var resultCache = map[string]results{}
+
+func get(t *testing.T, name string) results {
+	t.Helper()
+	if r, ok := resultCache[name]; ok {
+		return r
+	}
+	r := run(t, name)
+	resultCache[name] = r
+	return r
+}
+
+// TestEveryProgramLoadsAndFindsConstants is the baseline sanity check.
+func TestEveryProgramLoadsAndFindsConstants(t *testing.T) {
+	for _, name := range Names() {
+		r := get(t, name)
+		if r.poly == 0 {
+			t.Errorf("%s: polynomial configuration found nothing", name)
+		}
+	}
+}
+
+// TestSubsetOrderingAllPrograms asserts §3.1's containment: the set of
+// constants propagated by each flavor is a subset of the next flavor's,
+// so the substitution counts are monotone, and pass-through equals
+// polynomial on every program (the paper's headline result).
+func TestSubsetOrderingAllPrograms(t *testing.T) {
+	for _, name := range Names() {
+		r := get(t, name)
+		if !(r.lit <= r.intra && r.intra <= r.pass && r.pass <= r.poly) {
+			t.Errorf("%s: flavor ordering violated: lit=%d intra=%d pass=%d poly=%d",
+				name, r.lit, r.intra, r.pass, r.poly)
+		}
+		if r.pass != r.poly {
+			t.Errorf("%s: pass-through (%d) != polynomial (%d); the paper found them equal on every program",
+				name, r.pass, r.poly)
+		}
+		if r.passNoRet != r.polyNoRet {
+			t.Errorf("%s: without return JFs pass-through (%d) != polynomial (%d)",
+				name, r.passNoRet, r.polyNoRet)
+		}
+	}
+}
+
+// TestTable2FlavorGaps pins down, per program, which flavors tie and
+// which show strict gaps, matching the paper's Table 2 row shapes.
+func TestTable2FlavorGaps(t *testing.T) {
+	// Programs where all four flavors tie.
+	for _, name := range []string{"adm", "qcd", "trfd"} {
+		r := get(t, name)
+		if !(r.lit == r.intra && r.intra == r.poly) {
+			t.Errorf("%s: expected all flavors equal, got lit=%d intra=%d pass=%d poly=%d",
+				name, r.lit, r.intra, r.pass, r.poly)
+		}
+	}
+	// Programs with a literal < intraprocedural gap but no pass-through
+	// gain (no chains): linpackd, snasa7, spec77, mdg.
+	for _, name := range []string{"linpackd", "snasa7", "spec77", "mdg"} {
+		r := get(t, name)
+		if !(r.lit < r.intra) {
+			t.Errorf("%s: expected literal < intraprocedural, got %d vs %d", name, r.lit, r.intra)
+		}
+		if r.intra != r.pass {
+			t.Errorf("%s: expected intraprocedural == pass-through, got %d vs %d", name, r.intra, r.pass)
+		}
+	}
+	// Programs where pass-through strictly beats intraprocedural
+	// (pass-through chains): fpppp, matrix300, simple.
+	for _, name := range []string{"fpppp", "matrix300", "simple"} {
+		r := get(t, name)
+		if !(r.lit < r.intra && r.intra < r.pass) {
+			t.Errorf("%s: expected lit < intra < pass, got lit=%d intra=%d pass=%d",
+				name, r.lit, r.intra, r.pass)
+		}
+	}
+	// doduc: tiny gaps, near-tie between literal and the rest.
+	r := get(t, "doduc")
+	if !(r.lit < r.poly && r.poly-r.lit <= 10) {
+		t.Errorf("doduc: expected a small literal/polynomial gap, got %d vs %d", r.lit, r.poly)
+	}
+}
+
+// TestReturnJumpFunctionEffects reproduces the paper's finding: return
+// jump functions made no noticeable difference in most programs, helped
+// a little on doduc and mdg, and tripled the count on ocean.
+func TestReturnJumpFunctionEffects(t *testing.T) {
+	for _, name := range []string{"adm", "linpackd", "matrix300", "qcd", "simple", "snasa7", "spec77", "trfd"} {
+		r := get(t, name)
+		if r.poly != r.polyNoRet {
+			t.Errorf("%s: return JFs should not matter, got %d with vs %d without",
+				name, r.poly, r.polyNoRet)
+		}
+	}
+	for _, name := range []string{"doduc", "mdg", "fpppp"} {
+		r := get(t, name)
+		if !(r.poly > r.polyNoRet) {
+			t.Errorf("%s: return JFs should add a little, got %d with vs %d without",
+				name, r.poly, r.polyNoRet)
+		}
+		if r.poly-r.polyNoRet > r.polyNoRet {
+			t.Errorf("%s: return JF gain should be small, got %d → %d", name, r.polyNoRet, r.poly)
+		}
+	}
+	// ocean: the initialization-routine effect, at least 2.5×.
+	r := get(t, "ocean")
+	if r.polyNoRet*5 > r.poly*2 {
+		t.Errorf("ocean: return JFs should at least 2.5× the count, got %d → %d", r.polyNoRet, r.poly)
+	}
+}
+
+// TestMODInformationEffects reproduces Table 3 columns 1–2: removing MOD
+// loses constants everywhere, catastrophically on the programs whose
+// references live behind by-reference re-passes or in COMMON.
+func TestMODInformationEffects(t *testing.T) {
+	for _, name := range Names() {
+		r := get(t, name)
+		if !(r.polyNoMOD < r.poly) {
+			t.Errorf("%s: no-MOD should lose constants: %d vs %d", name, r.polyNoMOD, r.poly)
+		}
+	}
+	// Dramatic losses (the paper's adm 110→25, linpackd 170→33,
+	// matrix300 138→18, simple 183→2).
+	for _, name := range []string{"adm", "linpackd", "matrix300", "simple"} {
+		r := get(t, name)
+		if r.polyNoMOD*5 > r.poly*2 {
+			t.Errorf("%s: no-MOD loss should be dramatic (≤40%%), got %d of %d",
+				name, r.polyNoMOD, r.poly)
+		}
+	}
+	// Mild losses (doduc 289→288, qcd 180→169, snasa7 336→303).
+	for _, name := range []string{"doduc", "qcd", "snasa7"} {
+		r := get(t, name)
+		if r.polyNoMOD*10 < r.poly*7 {
+			t.Errorf("%s: no-MOD loss should be mild (≥70%%), got %d of %d",
+				name, r.polyNoMOD, r.poly)
+		}
+	}
+	// simple: the paper's near-total collapse.
+	r := get(t, "simple")
+	if r.polyNoMOD > r.poly/10 {
+		t.Errorf("simple: no-MOD should collapse (paper: 183→2), got %d of %d",
+			r.polyNoMOD, r.poly)
+	}
+}
+
+// TestCompletePropagationEffects reproduces Table 3 column 3: dead-code
+// elimination exposes extra constants only on ocean and spec77, and one
+// DCE round suffices.
+func TestCompletePropagationEffects(t *testing.T) {
+	for _, name := range Names() {
+		r := get(t, name)
+		switch name {
+		case "ocean", "spec77":
+			if !(r.complete > r.poly) {
+				t.Errorf("%s: complete propagation should add constants: %d vs %d",
+					name, r.complete, r.poly)
+			}
+		default:
+			if r.complete != r.poly {
+				t.Errorf("%s: complete propagation should change nothing: %d vs %d",
+					name, r.complete, r.poly)
+			}
+		}
+	}
+}
+
+// TestInterVsIntraprocedural reproduces Table 3 column 4: the
+// interprocedural propagation always finds more substitutions than the
+// strictly intraprocedural one, dramatically so on doduc.
+func TestInterVsIntraprocedural(t *testing.T) {
+	for _, name := range Names() {
+		r := get(t, name)
+		if !(r.poly > r.intraOnly) {
+			t.Errorf("%s: interprocedural (%d) should beat intraprocedural-only (%d)",
+				name, r.poly, r.intraOnly)
+		}
+	}
+	r := get(t, "doduc")
+	if r.intraOnly*10 > r.poly {
+		t.Errorf("doduc: intraprocedural-only should be tiny (paper: 3 vs 289), got %d vs %d",
+			r.intraOnly, r.poly)
+	}
+	// adm and qcd: the near-tie.
+	for _, name := range []string{"adm", "qcd"} {
+		r := get(t, name)
+		if r.intraOnly*10 < r.poly*6 {
+			t.Errorf("%s: intraprocedural-only should be close behind (paper within ~5%%), got %d vs %d",
+				name, r.intraOnly, r.poly)
+		}
+	}
+}
+
+// TestGenerationDeterministic guards the reproducibility claim.
+func TestGenerationDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a := Generate(name, DefaultScale)
+		b := Generate(name, DefaultScale)
+		if a.Source != b.Source {
+			t.Errorf("%s: generation is not deterministic", name)
+		}
+	}
+	if Generate("nosuch", 1) != nil {
+		t.Error("unknown names should return nil")
+	}
+	if Generate("adm", 0) == nil {
+		t.Error("scale is clamped, not rejected")
+	}
+}
+
+// TestScalesMonotone: larger scales produce more substitutions (the
+// generators replicate their structural patterns).
+func TestScalesMonotone(t *testing.T) {
+	for _, name := range []string{"adm", "linpackd", "ocean"} {
+		small := ipcp.MustLoad(Generate(name, 1).Source).
+			Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true})
+		large := ipcp.MustLoad(Generate(name, 6).Source).
+			Analyze(ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true})
+		if large.TotalSubstituted <= small.TotalSubstituted {
+			t.Errorf("%s: scale 6 (%d) should beat scale 1 (%d)",
+				name, large.TotalSubstituted, small.TotalSubstituted)
+		}
+	}
+}
+
+// TestTable1Shape checks the program-characteristics claims the suite
+// makes for Table 1: fpppp and simple have skewed line distributions
+// (mean well above median); the others are more even.
+func TestTable1Shape(t *testing.T) {
+	for _, name := range []string{"fpppp", "simple"} {
+		st := ipcp.MustLoad(Generate(name, DefaultScale).Source).Stats()
+		if st.MeanLinesPerProc < st.MedianLinesPerProc*1.1 {
+			t.Errorf("%s: expected skewed distribution, mean=%.1f median=%.1f",
+				name, st.MeanLinesPerProc, st.MedianLinesPerProc)
+		}
+	}
+	st := ipcp.MustLoad(Generate("doduc", DefaultScale).Source).Stats()
+	if st.Procedures < 10 || st.CallSites < 10 {
+		t.Errorf("doduc: expected a call-heavy program, got %+v", st)
+	}
+}

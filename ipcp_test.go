@@ -1,0 +1,227 @@
+package ipcp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipcp"
+)
+
+const apiTestSrc = `
+PROGRAM MAIN
+  INTEGER N
+  N = 10
+  CALL WORK(N, 5)
+END
+SUBROUTINE WORK(A, B)
+  INTEGER A, B, X
+  X = A + B
+  CALL INNER(A)
+  RETURN
+END
+SUBROUTINE INNER(V)
+  INTEGER V, W
+  W = V * 2
+  RETURN
+END
+`
+
+func TestLoadAndAnalyze(t *testing.T) {
+	prog, err := ipcp.Load(apiTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prog.Analyze(ipcp.Config{
+		Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true,
+	})
+	if v, ok := rep.ConstantValue("WORK", "A"); !ok || v != 10 {
+		t.Errorf("WORK.A = %d,%v want 10", v, ok)
+	}
+	if v, ok := rep.ConstantValue("WORK", "B"); !ok || v != 5 {
+		t.Errorf("WORK.B = %d,%v want 5", v, ok)
+	}
+	if v, ok := rep.ConstantValue("INNER", "V"); !ok || v != 10 {
+		t.Errorf("INNER.V = %d,%v want 10 (pass-through)", v, ok)
+	}
+	if rep.TotalConstants != 3 {
+		t.Errorf("TotalConstants = %d, want 3", rep.TotalConstants)
+	}
+	if rep.Procedure("NOSUCH") != nil {
+		t.Error("Procedure of unknown name should be nil")
+	}
+	if _, ok := rep.ConstantValue("NOSUCH", "A"); ok {
+		t.Error("ConstantValue on unknown procedure should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := ipcp.Load("PROGRAM\n"); err == nil {
+		t.Error("syntax error should surface")
+	}
+	if _, err := ipcp.Load("PROGRAM P\n  IMPLICIT NONE\n  X = 1\nEND\n"); err == nil {
+		t.Error("semantic error should surface")
+	}
+	if _, err := ipcp.LoadFile("/nonexistent/path.f"); err == nil {
+		t.Error("missing file should surface")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.f")
+	if err := os.WriteFile(path, []byte(apiTestSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ipcp.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Units()) != 3 {
+		t.Errorf("units: %v", prog.Units())
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLoad should panic on bad source")
+		}
+	}()
+	ipcp.MustLoad("not fortran at all")
+}
+
+func TestStats(t *testing.T) {
+	prog := ipcp.MustLoad(apiTestSrc)
+	st := prog.Stats()
+	if st.Procedures != 3 {
+		t.Errorf("procedures = %d", st.Procedures)
+	}
+	if st.CallSites != 2 {
+		t.Errorf("call sites = %d", st.CallSites)
+	}
+	if st.Lines <= 0 || st.MeanLinesPerProc <= 0 || st.MedianLinesPerProc <= 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestFormatRoundTrips(t *testing.T) {
+	prog := ipcp.MustLoad(apiTestSrc)
+	printed := prog.Format()
+	if !strings.Contains(printed, "SUBROUTINE WORK(A, B)") {
+		t.Errorf("format lost structure:\n%s", printed)
+	}
+	if _, err := ipcp.Load(printed); err != nil {
+		t.Errorf("formatted source does not reload: %v", err)
+	}
+}
+
+func TestIntraproceduralBaseline(t *testing.T) {
+	prog := ipcp.MustLoad(`
+PROGRAM MAIN
+  INTEGER K, A, B
+  K = 7
+  A = K + 1
+  B = K * 2
+  CALL S(1)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`)
+	intra := prog.AnalyzeIntraprocedural()
+	// K is referenced twice; N's reference is interprocedural only.
+	if intra.Substituted["MAIN"] != 2 {
+		t.Errorf("MAIN local substitutions = %d, want 2", intra.Substituted["MAIN"])
+	}
+	if intra.Substituted["S"] != 0 {
+		t.Errorf("S local substitutions = %d, want 0", intra.Substituted["S"])
+	}
+	inter := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+	if inter.Procedure("S").Substituted != 1 {
+		t.Errorf("S interprocedural substitutions = %d, want 1", inter.Procedure("S").Substituted)
+	}
+}
+
+func TestJumpFunctionStrings(t *testing.T) {
+	want := map[ipcp.JumpFunction]string{
+		ipcp.Literal:         "literal",
+		ipcp.Intraprocedural: "intraprocedural",
+		ipcp.PassThrough:     "pass-through",
+		ipcp.Polynomial:      "polynomial",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// TestControlFlowClassification checks the §4 motivation metric: which
+// substituted references sit in loop bounds and branch conditions.
+func TestControlFlowClassification(t *testing.T) {
+	prog := ipcp.MustLoad(`
+PROGRAM MAIN
+  CALL WORK(50, 3)
+END
+SUBROUTINE WORK(N, MODE)
+  INTEGER N, MODE, I, S, A, B
+  S = 0
+  DO I = 1, N
+    S = S + I
+  ENDDO
+  IF (MODE .EQ. 3) THEN
+    S = 0
+  ENDIF
+  A = N + 1
+  B = MODE * 2
+  RETURN
+END
+`)
+	rep := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+	w := rep.Procedure("WORK")
+	// Four references total: N in the DO bound, MODE in the IF, and the
+	// two plain arithmetic uses.
+	if w.Substituted != 4 {
+		t.Fatalf("substituted = %d, want 4", w.Substituted)
+	}
+	if w.ControlFlowSubstituted != 2 {
+		t.Fatalf("control-flow substituted = %d, want 2 (DO bound + IF condition)", w.ControlFlowSubstituted)
+	}
+	if rep.TotalControlFlowSubstituted != 2 {
+		t.Fatalf("total control-flow = %d", rep.TotalControlFlowSubstituted)
+	}
+}
+
+// TestConcurrentAnalyze guards the documented immutability contract: one
+// Program analyzed from many goroutines must produce identical results
+// with no data races (run under -race in CI).
+func TestConcurrentAnalyze(t *testing.T) {
+	prog := ipcp.MustLoad(apiTestSrc)
+	want := prog.Analyze(ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true})
+	const workers = 8
+	results := make([]*ipcp.Report, workers)
+	done := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+			if w%2 == 1 {
+				cfg.Complete = true
+			}
+			results[w] = prog.Analyze(cfg)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w, r := range results {
+		if r.TotalSubstituted != want.TotalSubstituted || r.TotalConstants != want.TotalConstants {
+			t.Errorf("worker %d: %d/%d vs %d/%d",
+				w, r.TotalSubstituted, r.TotalConstants, want.TotalSubstituted, want.TotalConstants)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+* Dense Gaussian elimination on a fixed-size system, linpack style:
+* the dimension parameters are computed once in the driver and passed
+* down the factor/solve call chain as pass-through formals.
+PROGRAM GAUSS
+  INTEGER N, LDA
+  REAL A(64, 64), B(64)
+  INTEGER I, J
+  N = 64
+  LDA = 64
+  DO I = 1, N
+    DO J = 1, N
+      A(I, J) = 1.0
+    ENDDO
+    A(I, I) = 10.0
+    B(I) = 2.0
+  ENDDO
+  CALL GEFA(A, LDA, N)
+  CALL GESL(A, LDA, N, B)
+  WRITE(*,*) 'x(1) =', B(1)
+END
+
+SUBROUTINE GEFA(A, LDA, N)
+  INTEGER LDA, N
+  REAL A(64, 64), PIV
+  INTEGER K, I, J
+  DO K = 1, N - 1
+    PIV = A(K, K)
+    IF (PIV .EQ. 0.0) THEN
+      CALL FIXUP(A, LDA, K)
+      PIV = A(K, K)
+    ENDIF
+    DO I = K + 1, N
+      A(I, K) = A(I, K) / PIV
+      DO J = K + 1, N
+        A(I, J) = A(I, J) - A(I, K)*A(K, J)
+      ENDDO
+    ENDDO
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE FIXUP(A, LDA, K)
+  INTEGER LDA, K
+  REAL A(64, 64)
+  A(K, K) = 1.0
+  RETURN
+END
+
+SUBROUTINE GESL(A, LDA, N, B)
+  INTEGER LDA, N
+  REAL A(64, 64), B(64), S
+  INTEGER K, I
+  DO K = 1, N - 1
+    DO I = K + 1, N
+      B(I) = B(I) - A(I, K)*B(K)
+    ENDDO
+  ENDDO
+  DO 30 K = N, 1, -1
+    B(K) = B(K) / A(K, K)
+    DO 20 I = 1, K - 1
+      B(I) = B(I) - A(I, K)*B(K)
+20  CONTINUE
+30 CONTINUE
+  S = B(1)
+  RETURN
+END

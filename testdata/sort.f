@@ -1,0 +1,47 @@
+* Sorting with FORTRAN-66 flavored control flow: GOTOs, labels, and a
+* logical-IF loop, plus an integer function. Exercises the irregular
+* CFG paths of the front end.
+PROGRAM SORTER
+  INTEGER KEYS(100)
+  INTEGER N, I, NSWAP
+  N = 100
+  DO I = 1, N
+    KEYS(I) = MOD(I*37 + 11, 100)
+  ENDDO
+  CALL BUBBLE(KEYS, N, NSWAP)
+  WRITE(*,*) 'swaps:', NSWAP
+  I = CHKSUM(KEYS, N)
+  WRITE(*,*) 'checksum:', I
+END
+
+SUBROUTINE BUBBLE(KEYS, N, NSWAP)
+  INTEGER KEYS(100), N, NSWAP
+  INTEGER I, T, LIMIT
+  LOGICAL AGAIN
+  NSWAP = 0
+  LIMIT = N - 1
+10 CONTINUE
+  AGAIN = .FALSE.
+  DO I = 1, LIMIT
+    IF (KEYS(I) .LE. KEYS(I+1)) GOTO 20
+    T = KEYS(I)
+    KEYS(I) = KEYS(I+1)
+    KEYS(I+1) = T
+    NSWAP = NSWAP + 1
+    AGAIN = .TRUE.
+20  CONTINUE
+  ENDDO
+  IF (AGAIN) GOTO 10
+  RETURN
+END
+
+INTEGER FUNCTION CHKSUM(KEYS, N)
+  INTEGER KEYS(100), N
+  INTEGER I, ACC
+  ACC = 0
+  DO I = 1, N
+    ACC = ACC + KEYS(I)*I
+  ENDDO
+  CHKSUM = MOD(IABS(ACC), 9973)
+  RETURN
+END

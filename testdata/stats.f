@@ -1,0 +1,57 @@
+* Running statistics over synthetic data: functions, intrinsics,
+* DO WHILE, PARAMETER constants, and DATA initialization.
+PROGRAM STATS
+  PARAMETER (NOBS = 240, NBIN = 12)
+  INTEGER DATA1(240)
+  INTEGER I, LO, HI, NBAD
+  DATA NBAD /0/
+  DO I = 1, NOBS
+    DATA1(I) = MOD(I*I, 97) - 48
+  ENDDO
+  LO = IMIN(DATA1, NOBS)
+  HI = IMAX(DATA1, NOBS)
+  CALL HIST(DATA1, NOBS, NBIN, LO, HI)
+  I = 1
+  DO WHILE (I .LE. NOBS)
+    IF (DATA1(I) .LT. LO .OR. DATA1(I) .GT. HI) NBAD = NBAD + 1
+    I = I + 1
+  ENDDO
+  WRITE(*,*) 'range', LO, HI, 'bad', NBAD
+END
+
+INTEGER FUNCTION IMIN(V, N)
+  INTEGER V(240), N, I
+  IMIN = V(1)
+  DO I = 2, N
+    IMIN = MIN(IMIN, V(I))
+  ENDDO
+  RETURN
+END
+
+INTEGER FUNCTION IMAX(V, N)
+  INTEGER V(240), N, I
+  IMAX = V(1)
+  DO I = 2, N
+    IMAX = MAX(IMAX, V(I))
+  ENDDO
+  RETURN
+END
+
+SUBROUTINE HIST(V, N, NB, LO, HI)
+  INTEGER V(240), N, NB, LO, HI
+  INTEGER COUNTS(12)
+  INTEGER I, W, B
+  DO I = 1, NB
+    COUNTS(I) = 0
+  ENDDO
+  W = MAX(1, (HI - LO + NB) / NB)
+  DO I = 1, N
+    B = (V(I) - LO) / W + 1
+    B = MIN(MAX(B, 1), NB)
+    COUNTS(B) = COUNTS(B) + 1
+  ENDDO
+  DO I = 1, NB
+    WRITE(*,*) I, COUNTS(I)
+  ENDDO
+  RETURN
+END
