@@ -16,6 +16,7 @@
 //	-all        run all four flavors and print a comparison
 //	-constants  list every CONSTANTS(p) entry
 //	-stats      print program characteristics (Table 1 row)
+//	-j N        analysis worker count (0 = one per CPU, 1 = sequential)
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print program characteristics")
 	suiteName := flag.String("suite", "", "analyze a generated benchmark program instead of a file")
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
+	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	prog, name, err := load(*suiteName, *scale, flag.Args())
@@ -63,15 +65,19 @@ func main() {
 	}
 
 	if *all {
-		fmt.Printf("%-16s  %12s  %10s\n", "jump function", "substituted", "constants")
+		var cfgs []ipcp.Config
 		for _, j := range ipcp.JumpFunctions {
-			rep := prog.Analyze(ipcp.Config{
+			cfgs = append(cfgs, ipcp.Config{
 				Jump:                j,
 				ReturnJumpFunctions: !*noRet,
 				MOD:                 !*noMod,
 				Complete:            *complete,
+				Workers:             *workers,
 			})
-			fmt.Printf("%-16s  %12d  %10d\n", j, rep.TotalSubstituted, rep.TotalConstants)
+		}
+		fmt.Printf("%-16s  %12s  %10s\n", "jump function", "substituted", "constants")
+		for i, rep := range prog.AnalyzeMatrix(cfgs, *workers) {
+			fmt.Printf("%-16s  %12d  %10d\n", cfgs[i].Jump, rep.TotalSubstituted, rep.TotalConstants)
 		}
 		return
 	}
@@ -86,6 +92,7 @@ func main() {
 			Jump:                j,
 			ReturnJumpFunctions: !*noRet,
 			MOD:                 !*noMod,
+			Workers:             *workers,
 		}, ipcp.CloneOptions{})
 		fmt.Printf("%s: goal-directed cloning with %s jump functions\n", name, j)
 		fmt.Printf("  before: %d constants, %d references\n",
@@ -99,6 +106,7 @@ func main() {
 		ReturnJumpFunctions: !*noRet,
 		MOD:                 !*noMod,
 		Complete:            *complete,
+		Workers:             *workers,
 	})
 	fmt.Printf("%s: %s jump functions", name, j)
 	if *noRet {

@@ -10,12 +10,14 @@
 //	tables -table2      # constants per jump-function flavor
 //	tables -table3      # MOD / complete / intraprocedural comparison
 //	tables -scale 8     # regenerate the suite at a different scale
+//	tables -j 2         # cap table generation at 2 OS threads
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ipcp"
 	"ipcp/internal/report"
@@ -30,7 +32,14 @@ func main() {
 	cloning := flag.Bool("cloning", false, "print the procedure-cloning extension table only")
 	integration := flag.Bool("integration", false, "print the procedure-integration extension table only")
 	scale := flag.Int("scale", suite.DefaultScale, "suite generation scale")
+	workers := flag.Int("j", 0, "parallelism cap (0 = one per CPU); bounds both the per-program fan-out and each program's configuration matrix")
 	flag.Parse()
+	if *workers > 0 {
+		// Table generation fans out at two levels: one goroutine per
+		// program row, and a worker pool per configuration matrix.
+		// Capping GOMAXPROCS bounds the whole tree with one knob.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	if *fig1 {
 		fmt.Print(report.Figure1())
@@ -83,15 +92,12 @@ func main() {
 }
 
 func loadSuite(scale int) []*report.Loaded {
-	var ls []*report.Loaded
-	for _, name := range suite.Names() {
-		p := suite.Generate(name, scale)
+	return suite.Run(scale, 0, func(p *suite.Program) *report.Loaded {
 		prog, err := ipcp.Load(p.Source)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: generated program %s is invalid: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "tables: generated program %s is invalid: %v\n", p.Name, err)
 			os.Exit(1)
 		}
-		ls = append(ls, report.NewLoaded(p, prog))
-	}
-	return ls
+		return report.NewLoaded(p, prog)
+	})
 }

@@ -1,0 +1,92 @@
+package ipcp_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+// Regression guard for the shared-state audit: a loaded Program claims
+// to be immutable, so every entry point must be callable from many
+// goroutines at once. The test drives all of them concurrently against
+// one Program instance; run under -race (scripts/check.sh) it would
+// have caught a lazily-initialized map or a memoized AST annotation the
+// moment one appeared. The determinism suite exercises only Analyze and
+// AnalyzeMatrix — this covers the rest of the public surface.
+func TestProgramConcurrentEntryPoints(t *testing.T) {
+	prog, err := ipcp.LoadFile(filepath.Join("testdata", "sort.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+	want := prog.Analyze(cfg)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*8)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rep := prog.Analyze(cfg); !reflect.DeepEqual(rep, want) {
+				errs <- "Analyze diverged under concurrency"
+			}
+			prog.AnalyzeIntraprocedural()
+			prog.AnalyzeWithCloning(cfg, ipcp.CloneOptions{})
+			prog.Stats()
+			prog.Units()
+			prog.Format()
+			if res := prog.Execute(ipcp.ExecOptions{}); res.Err != nil {
+				errs <- res.Err.Error()
+			}
+			if _, _, err := prog.TransformedSource(want); err != nil {
+				errs <- err.Error()
+			}
+			if v := prog.VerifyConstants(want, ipcp.ExecOptions{}); len(v) != 0 {
+				errs <- v[0]
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// One sema.Program feeding many concurrent matrix runs is exactly the
+// sharing pattern the table generator uses; pin it on a program with
+// recursion-free deep call chains plus a COMMON-seeding initializer
+// (the return-jump-function wave schedule's hardest customer).
+func TestAnalyzeMatrixConcurrentSameProgram(t *testing.T) {
+	prog := ipcp.MustLoad(suite.Generate("ocean", 2).Source)
+	cfgs := ipcp.FullMatrix()
+	want := prog.AnalyzeMatrix(cfgs, 1)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures []string
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := prog.AnalyzeMatrix(cfgs, 4)
+			for i := range cfgs {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					mu.Lock()
+					failures = append(failures, "concurrent matrix run diverged")
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+}

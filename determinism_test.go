@@ -1,0 +1,180 @@
+package ipcp_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+// This file is the differential proof of the analyzer's determinism
+// guarantee: for any program and any configuration, the parallel
+// pipeline (Config.Workers > 1, plus the matrix-level fan-out of
+// AnalyzeMatrix) produces a Report reflect.DeepEqual to the sequential
+// reference (Config.Workers == 1, one Analyze per configuration) —
+// including the solver-effort counters, not just the CONSTANTS sets.
+// Run under -race (scripts/check.sh does) this doubles as the
+// shared-state audit of every fan-out path.
+
+// determinismSeeds returns the number of random programs to sweep:
+// ≥200 in full mode per the acceptance criteria, fewer under -short.
+func determinismSeeds(t *testing.T) int {
+	if testing.Short() {
+		return 40
+	}
+	return 200
+}
+
+// determinismConfigs is the configuration grid: the full 4-flavor ×
+// MOD × return-JF matrix, plus the complete-propagation and
+// dependence-solver variants of the most precise configuration.
+func determinismConfigs() []ipcp.Config {
+	cfgs := ipcp.FullMatrix()
+	cfgs = append(cfgs,
+		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true},
+		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true},
+	)
+	return cfgs
+}
+
+// normalizeWorkers clears the one Report field that legitimately
+// differs between the sequential and parallel runs: the echoed
+// Config.Workers knob. Everything else must match exactly.
+func normalizeWorkers(reps []*ipcp.Report) {
+	for _, r := range reps {
+		r.Config.Workers = 0
+	}
+}
+
+// withWorkers returns a copy of the grid with every configuration's
+// worker count pinned to n.
+func withWorkers(cfgs []ipcp.Config, n int) []ipcp.Config {
+	out := make([]ipcp.Config, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c
+		out[i].Workers = n
+	}
+	return out
+}
+
+func TestDeterminismRandomSuite(t *testing.T) {
+	nseeds := determinismSeeds(t)
+	cfgs := determinismConfigs()
+	for seed := 0; seed < nseeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			size := 2 + seed%9 // programs from ~2 to ~12 procedures
+			gen := suite.Random(int64(seed), size)
+			prog, err := ipcp.Load(gen.Source)
+			if err != nil {
+				t.Fatalf("random program %d invalid: %v", seed, err)
+			}
+
+			// Sequential reference: one fresh Analyze per configuration,
+			// single worker everywhere.
+			seq := make([]*ipcp.Report, len(cfgs))
+			for i, cfg := range cfgs {
+				cfg.Workers = 1
+				seq[i] = prog.Analyze(cfg)
+			}
+
+			// Parallel run: matrix-level fan-out over cloned IRs, each
+			// pipeline itself running on 8 workers. And a second parallel
+			// run, so parallel agrees with parallel, not just with the
+			// sequential baseline.
+			par := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
+			par2 := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
+
+			normalizeWorkers(seq)
+			normalizeWorkers(par)
+			normalizeWorkers(par2)
+			for i := range cfgs {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Fatalf("seed %d config %+v: parallel report diverges from sequential\nseq: %+v\npar: %+v",
+						seed, cfgs[i], seq[i], par[i])
+				}
+				if !reflect.DeepEqual(par[i], par2[i]) {
+					t.Fatalf("seed %d config %+v: two parallel runs disagree", seed, cfgs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismHandBuiltSuite pins the guarantee on the 12 structured
+// benchmark programs too — their call-graph shapes (deep pass-through
+// chains, initialization routines, skewed procedure sizes) exercise
+// wave schedules the random generator rarely produces.
+func TestDeterminismHandBuiltSuite(t *testing.T) {
+	cfgs := determinismConfigs()
+	for _, name := range suite.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			gen := suite.Generate(name, 2)
+			prog, err := ipcp.Load(gen.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := make([]*ipcp.Report, len(cfgs))
+			for i, cfg := range cfgs {
+				cfg.Workers = 1
+				seq[i] = prog.Analyze(cfg)
+			}
+			par := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
+			normalizeWorkers(seq)
+			normalizeWorkers(par)
+			for i := range cfgs {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Fatalf("%s config %+v: parallel report diverges from sequential", name, cfgs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismRepeatedParallelRuns hammers one moderately sized
+// program with repeated parallel analyses under one configuration; any
+// schedule-dependence in the wave pipeline shows up as run-to-run
+// drift even when the sequential comparison would pass.
+func TestDeterminismRepeatedParallelRuns(t *testing.T) {
+	prog := ipcp.MustLoad(suite.Generate("ocean", 4).Source)
+	cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Workers: 8}
+	first := prog.Analyze(cfg)
+	runs := 20
+	if testing.Short() {
+		runs = 5
+	}
+	for i := 0; i < runs; i++ {
+		if rep := prog.Analyze(cfg); !reflect.DeepEqual(first, rep) {
+			t.Fatalf("run %d diverged from run 0", i+1)
+		}
+	}
+}
+
+// TestAnalyzeMatrixMatchesAnalyze checks the matrix runner's IR-cloning
+// shortcut against per-configuration lowering on the realistic corpus
+// programs (COMMON blocks, arrays, GOTOs — everything CloneProgram must
+// reproduce faithfully).
+func TestAnalyzeMatrixMatchesAnalyze(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		prog, err := ipcp.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs := determinismConfigs()
+		direct := make([]*ipcp.Report, len(cfgs))
+		for i, cfg := range cfgs {
+			direct[i] = prog.Analyze(cfg)
+		}
+		matrix := prog.AnalyzeMatrix(cfgs, 0)
+		for i := range cfgs {
+			if !reflect.DeepEqual(direct[i], matrix[i]) {
+				t.Fatalf("%s config %+v: matrix report diverges from direct Analyze", path, cfgs[i])
+			}
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package ipcp_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
 	"ipcp"
+	"ipcp/internal/suite"
 )
 
 func TestExecuteSmoke(t *testing.T) {
@@ -143,5 +145,61 @@ END
 	}
 	if v := prog.VerifyConstants(rep, ipcp.ExecOptions{}); len(v) == 0 {
 		t.Fatal("fabricated constant not caught")
+	}
+}
+
+// The execution oracle must hold for the parallel pipeline too, and on
+// arbitrary call structures — not just the hand-built benchmarks: every
+// constant a parallel analysis reports for a random program is checked
+// against the values actually observed at procedure entries. Together
+// with the determinism suite (parallel ≡ sequential) this closes the
+// loop: the parallel path is both reproducible and sound.
+func TestVerifyConstantsParallelRandomSuite(t *testing.T) {
+	nseeds := 60
+	if testing.Short() {
+		nseeds = 15
+	}
+	cfgs := []ipcp.Config{
+		{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Workers: 8},
+		{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, Workers: 8},
+		{Jump: ipcp.Polynomial, MOD: false, Workers: 8},
+	}
+	for seed := 0; seed < nseeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gen := suite.Random(int64(seed), 2+seed%8)
+			prog, err := ipcp.Load(gen.Source)
+			if err != nil {
+				t.Fatalf("random program %d invalid: %v", seed, err)
+			}
+			reps := prog.AnalyzeMatrix(cfgs, 0)
+			for i, rep := range reps {
+				for _, viol := range prog.VerifyConstants(rep, ipcp.ExecOptions{Fuel: 5_000_000}) {
+					t.Errorf("seed %d config %d: %s", seed, i, viol)
+				}
+			}
+		})
+	}
+}
+
+// The parallel pipeline's reports must also stay sound on the realistic
+// corpus programs under every jump-function flavor (the existing
+// VerifyConstants tests cover only the sequential default path).
+func TestVerifyConstantsParallelCorpus(t *testing.T) {
+	for _, name := range []string{"heat.f", "gauss.f", "sort.f", "stats.f", "quadrature.f"} {
+		prog, err := ipcp.LoadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cfgs []ipcp.Config
+		for _, j := range ipcp.JumpFunctions {
+			cfgs = append(cfgs, ipcp.Config{Jump: j, ReturnJumpFunctions: true, MOD: true, Workers: 8})
+		}
+		for i, rep := range prog.AnalyzeMatrix(cfgs, 0) {
+			for _, viol := range prog.VerifyConstants(rep, ipcp.ExecOptions{Fuel: 100_000_000}) {
+				t.Errorf("%s flavor %v: %s", name, cfgs[i].Jump, viol)
+			}
+		}
 	}
 }

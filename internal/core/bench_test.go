@@ -100,3 +100,83 @@ func BenchmarkSubstitutionCount(b *testing.B) {
 	}
 	_ = ir.OpAdd
 }
+
+// fullMatrix is the 16-configuration sweep of the study (4 flavors ×
+// MOD × return jump functions), with every pipeline pinned to the given
+// worker count.
+func fullMatrix(pipelineWorkers int) []Config {
+	var cfgs []Config
+	for _, j := range []jump.Kind{jump.Literal, jump.Intraprocedural, jump.PassThrough, jump.Polynomial} {
+		for _, mod := range []bool{false, true} {
+			for _, ret := range []bool{false, true} {
+				cfgs = append(cfgs, Config{Jump: j, MOD: mod, ReturnJFs: ret, Workers: pipelineWorkers})
+			}
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkAnalyzeMatrix compares the sequential 16-configuration sweep
+// (the pre-parallelism code path: one worker everywhere) against the
+// parallel matrix runner (configuration-level fan-out over cloned IRs,
+// parallel per-procedure stages inside each pipeline). The speedup
+// scales with cores; on one core the two are expected to tie, which
+// bounds the orchestration overhead.
+func BenchmarkAnalyzeMatrix(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	b.Run("seq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AnalyzeMatrix(sp, fullMatrix(1), 1)
+		}
+	})
+	b.Run("par", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AnalyzeMatrix(sp, fullMatrix(0), 0)
+		}
+	})
+}
+
+// BenchmarkStage2 isolates forward-jump-function generation, the
+// fully-independent per-procedure stage, sequential vs parallel.
+func BenchmarkStage2(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pipe := newPipeline(irbuild.Build(sp), cfg)
+				pipe.buildSSA()
+				pipe.stage1ReturnJFs()
+				b.StartTimer()
+				pipe.stage2ForwardJFs()
+			}
+		}
+	}
+	b.Run("seq", run(1))
+	b.Run("par", run(0))
+}
+
+// BenchmarkStage1 isolates value numbering + return-jump-function
+// generation under the wave schedule, sequential vs parallel.
+func BenchmarkStage1(b *testing.B) {
+	sp := benchSema(b, "ocean", 8)
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := Config{Jump: jump.Polynomial, ReturnJFs: true, MOD: true, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pipe := newPipeline(irbuild.Build(sp), cfg)
+				pipe.buildSSA()
+				b.StartTimer()
+				pipe.stage1ReturnJFs()
+			}
+		}
+	}
+	b.Run("seq", run(1))
+	b.Run("par", run(0))
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ipcp/internal/analysis/callgraph"
 	"ipcp/internal/analysis/modref"
@@ -54,6 +55,13 @@ type Config struct {
 	// re-evaluates each jump function only when a support member
 	// changes, achieving the O(Σ cost(J)) bound of §3.1.5.
 	DependenceSolver bool
+
+	// Workers bounds the goroutines the per-procedure stages (SSA
+	// construction, stage-1 return jump functions, stage-2 forward jump
+	// functions) fan out over. 0 means one worker per available CPU;
+	// 1 forces the sequential reference path. Results are identical for
+	// every setting — the determinism tests prove it.
+	Workers int
 }
 
 // NamedConstant is one (name, value) member of a CONSTANTS(p) set.
@@ -134,6 +142,28 @@ type Result struct {
 	// polynomial jump functions actually constructed is small" and that
 	// their support size approaches 1.
 	JFShape JFShapeStats
+
+	// Stats reports the pipeline's execution effort (solver counters
+	// and the worker pool size the per-procedure stages ran on).
+	Stats Stats
+}
+
+// Stats describes how one analysis run executed. The solver counters
+// are accumulated atomically, so they stay race-free if a future change
+// parallelizes propagation — and because stage 3 is sequential today,
+// they are bit-identical between sequential and parallel runs of the
+// same configuration (the determinism tests include them).
+type Stats struct {
+	// Workers is the resolved worker-pool size stages 1–2 fanned out on.
+	Workers int
+
+	// SolverPasses counts work-item visits during stage 3 (procedures
+	// for the simple worklist, jump-function instances for the
+	// dependence-driven solver).
+	SolverPasses int64
+
+	// JFEvaluations counts jump-function evaluations during stage 3.
+	JFEvaluations int64
 }
 
 // JFShapeStats classifies constructed forward jump functions.
@@ -160,10 +190,21 @@ type SiteValues struct {
 // an analyzed source program. Each invocation lowers a fresh IR, so a
 // single *sema.Program can be analyzed under many configurations.
 func Analyze(sp *sema.Program, cfg Config) *Result {
+	return analyzeConfigured(irbuild.Build(sp), cfg.withDefaults())
+}
+
+// withDefaults fills the defaulted Config fields.
+func (cfg Config) withDefaults() Config {
 	if cfg.MaxDCERounds == 0 {
 		cfg.MaxDCERounds = 10
 	}
-	irp := irbuild.Build(sp)
+	return cfg
+}
+
+// analyzeConfigured runs one full configured analysis — the propagation
+// plus the complete-propagation DCE iteration — over a fresh pre-SSA
+// program. cfg must already have its defaults filled.
+func analyzeConfigured(irp *ir.Program, cfg Config) *Result {
 	res := analyzeIR(irp, cfg)
 	if !cfg.Complete {
 		return res
@@ -181,13 +222,35 @@ func Analyze(sp *sema.Program, cfg Config) *Result {
 	return res
 }
 
+// AnalyzeMatrix analyzes one program under every configuration of the
+// matrix, fanning the configurations out over a bounded worker pool
+// (workers <= 0 means one per CPU). The source program is lowered once;
+// each configuration then runs on its own deep clone of that IR, so the
+// workers share only immutable inputs. Results arrive in configuration
+// order and are identical to running Analyze per configuration — the
+// determinism tests assert it across the full config matrix.
+func AnalyzeMatrix(sp *sema.Program, cfgs []Config, workers int) []*Result {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	base := irbuild.Build(sp)
+	out := make([]*Result, len(cfgs))
+	parallelFor(poolSize(workers), len(cfgs), func(i int) {
+		irp := base
+		if len(cfgs) > 1 {
+			// BuildSSA mutates the IR in place, so every configuration
+			// after the first needs its own copy of the lowering.
+			irp = ir.CloneProgram(base, nil, nil)
+		}
+		out[i] = analyzeConfigured(irp, cfgs[i].withDefaults())
+	})
+	return out
+}
+
 // AnalyzeIR runs one propagation over an already-lowered program. The
 // program must be fresh (pre-SSA); Analyze is the usual entry point.
 func AnalyzeIR(irp *ir.Program, cfg Config) *Result {
-	if cfg.MaxDCERounds == 0 {
-		cfg.MaxDCERounds = 10
-	}
-	return analyzeIR(irp, cfg)
+	return analyzeIR(irp, cfg.withDefaults())
 }
 
 // analyzeIR is stages 1–4 on one IR instance.
@@ -206,10 +269,11 @@ func analyzeIR(irp *ir.Program, cfg Config) *Result {
 
 // pipeline carries the per-run state between stages.
 type pipeline struct {
-	cfg  Config
-	prog *ir.Program
-	cg   *callgraph.Graph
-	mods *modref.Summary
+	cfg     Config
+	workers int // resolved pool size for the per-procedure stages
+	prog    *ir.Program
+	cg      *callgraph.Graph
+	mods    *modref.Summary
 
 	oracle      ir.ModOracle
 	globalIndex map[*ir.GlobalVar]int
@@ -219,14 +283,15 @@ type pipeline struct {
 	sites  map[*ir.Instr]*jump.Site
 
 	vals         *vals
-	solverPasses int
-	jfEvals      int
+	solverPasses atomic.Int64
+	jfEvals      atomic.Int64
 	jfShape      JFShapeStats
 }
 
 func newPipeline(irp *ir.Program, cfg Config) *pipeline {
 	p := &pipeline{
 		cfg:         cfg,
+		workers:     poolSize(cfg.Workers),
 		prog:        irp,
 		cg:          callgraph.Build(irp),
 		globalIndex: make(map[*ir.GlobalVar]int, len(irp.ScalarGlobals)),
@@ -244,27 +309,55 @@ func newPipeline(irp *ir.Program, cfg Config) *pipeline {
 	return p
 }
 
+// buildSSA converts every procedure to SSA form, fanning out over the
+// worker pool: BuildSSA mutates only its own procedure and the MOD
+// oracle is read-only, so the procedures are independent.
 func (p *pipeline) buildSSA() {
-	for _, proc := range p.prog.Procs {
-		proc.BuildSSA(p.oracle)
-	}
+	procs := p.prog.Procs
+	parallelFor(p.workers, len(procs), func(i int) {
+		procs[i].BuildSSA(p.oracle)
+	})
 }
 
 // stage1ReturnJFs value-numbers every procedure bottom-up over the call
 // graph, building return jump functions as it goes so callers see their
 // callees' summaries (§4.1, "Generating return jump functions").
 // Procedures in call-graph cycles get no return jump functions (⊥).
+//
+// The bottom-up order is relaxed to waves over the call-graph
+// condensation (see parallel.go): procedures inside one wave have no
+// finished callee summaries to exchange, so they value-number in
+// parallel; the summaries a wave produced are published sequentially
+// before the next wave starts. Without return jump functions there are
+// no cross-procedure reads at all and the whole stage is one wave.
 func (p *pipeline) stage1ReturnJFs() {
 	p.retJFs = jump.NewStore(p.prog)
 	var re valnum.ReturnEval
 	if p.cfg.ReturnJFs {
 		re = p.retJFs
 	}
-	for _, n := range p.cg.BottomUp() {
-		vn := valnum.Analyze(n.Proc, re)
-		p.vns[n.Proc] = vn
-		if p.cfg.ReturnJFs && !p.cg.InCycle(n) {
-			p.retJFs.Set(n.Proc, p.buildReturns(n.Proc, vn))
+	// Without return jump functions nothing crosses procedures and one
+	// wave covers everything; with them, the wave schedule guarantees a
+	// caller never runs before its callees' summaries are published.
+	waves := [][]*callgraph.Node{p.cg.BottomUp()}
+	if p.cfg.ReturnJFs {
+		waves = sccWaves(p.cg)
+	}
+	for _, wave := range waves {
+		vns := make([]*valnum.Result, len(wave))
+		rets := make([]*jump.Returns, len(wave))
+		parallelFor(p.workers, len(wave), func(i int) {
+			n := wave[i]
+			vns[i] = valnum.Analyze(n.Proc, re)
+			if p.cfg.ReturnJFs && !p.cg.InCycle(n) {
+				rets[i] = p.buildReturns(n.Proc, vns[i])
+			}
+		})
+		for i, n := range wave {
+			p.vns[n.Proc] = vns[i]
+			if rets[i] != nil {
+				p.retJFs.Set(n.Proc, rets[i])
+			}
 		}
 	}
 }
@@ -333,10 +426,21 @@ func (p *pipeline) buildReturns(proc *ir.Proc, vn *valnum.Result) *jump.Returns 
 // stage2ForwardJFs builds the configured flavor of forward jump function
 // for every actual parameter and every implicit global at every call
 // site, reusing the stage-1 value numbering (valid because return jump
-// functions are final once stage 1 completes).
+// functions are final once stage 1 completes). Procedures are fully
+// independent here — every worker reads only its own procedure's value
+// numbering — so the fan-out needs no waves; per-procedure results land
+// in indexed slots and merge in call-graph order.
 func (p *pipeline) stage2ForwardJFs() {
-	for _, n := range p.cg.TopDown() {
+	nodes := p.cg.TopDown()
+	type procSites struct {
+		sites []*jump.Site
+		shape JFShapeStats
+	}
+	out := make([]procSites, len(nodes))
+	parallelFor(p.workers, len(nodes), func(ni int) {
+		n := nodes[ni]
 		vn := p.vns[n.Proc]
+		ps := &out[ni]
 		for _, call := range n.Sites {
 			site := &jump.Site{
 				Call:   call,
@@ -349,7 +453,7 @@ func (p *pipeline) stage2ForwardJFs() {
 				}
 				raw := vn.OperandExpr(call.Args[i])
 				site.Formal[i] = jump.Filter(p.cfg.Jump, call.Args[i], raw)
-				p.classifyJF(site.Formal[i])
+				ps.shape.classify(site.Formal[i])
 			}
 			for k := range p.prog.ScalarGlobals {
 				a := call.NumActuals + k
@@ -358,28 +462,43 @@ func (p *pipeline) stage2ForwardJFs() {
 				}
 				raw := vn.OperandExpr(call.Args[a])
 				site.Global[k] = jump.Filter(p.cfg.Jump, call.Args[a], raw)
-				p.classifyJF(site.Global[k])
+				ps.shape.classify(site.Global[k])
 			}
-			p.sites[call] = site
+			ps.sites = append(ps.sites, site)
 		}
+	})
+	for _, ps := range out {
+		for _, site := range ps.sites {
+			p.sites[site.Call] = site
+		}
+		p.jfShape.add(ps.shape)
 	}
 }
 
-// classifyJF tallies one constructed forward jump function by form.
-func (p *pipeline) classifyJF(e sym.Expr) {
+// classify tallies one constructed forward jump function by form.
+func (s *JFShapeStats) classify(e sym.Expr) {
 	switch e := e.(type) {
 	case nil:
-		p.jfShape.Bottom++
+		s.Bottom++
 	case *sym.Const:
-		p.jfShape.Constant++
+		s.Constant++
 	case *sym.Formal, *sym.GlobalEntry:
-		p.jfShape.PassThrough++
-		p.jfShape.SupportSum++
+		s.PassThrough++
+		s.SupportSum++
 	default:
-		p.jfShape.Polynomial++
+		s.Polynomial++
 		leaves, _ := sym.Support(e)
-		p.jfShape.SupportSum += len(leaves)
+		s.SupportSum += len(leaves)
 	}
+}
+
+// add accumulates another tally into s.
+func (s *JFShapeStats) add(o JFShapeStats) {
+	s.Bottom += o.Bottom
+	s.Constant += o.Constant
+	s.PassThrough += o.PassThrough
+	s.Polynomial += o.Polynomial
+	s.SupportSum += o.SupportSum
 }
 
 // stage4Record assembles the CONSTANTS sets and the substitution counts.
@@ -388,10 +507,15 @@ func (p *pipeline) stage4Record() *Result {
 		Config:        p.cfg,
 		Prog:          p.prog,
 		Procs:         make(map[string]*ProcResult, len(p.prog.Procs)),
-		SolverPasses:  p.solverPasses,
-		JFEvaluations: p.jfEvals,
+		SolverPasses:  int(p.solverPasses.Load()),
+		JFEvaluations: int(p.jfEvals.Load()),
 		SiteVals:      make(map[*ir.Instr]*SiteValues, len(p.sites)),
 		JFShape:       p.jfShape,
+		Stats: Stats{
+			Workers:       p.workers,
+			SolverPasses:  p.solverPasses.Load(),
+			JFEvaluations: p.jfEvals.Load(),
+		},
 	}
 	// Per-site jump-function values under the final VAL sets, for the
 	// cloning extension.

@@ -113,7 +113,7 @@ func (p *pipeline) stage3PropagateDependence() {
 		inst := work[0]
 		work = work[1:]
 		queued[inst] = false
-		p.solverPasses++
+		p.solverPasses.Add(1)
 
 		env := procEnv{p: p, at: inst.caller}
 		v := p.evalJF(inst.expr, env)

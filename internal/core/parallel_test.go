@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/suite"
+)
+
+// The wave schedule is what makes parallel stage 1 equivalent to the
+// sequential bottom-up walk; these tests pin its two load-bearing
+// invariants. Breaking either one (say, by leveling nodes instead of
+// SCCs, or by publishing summaries inside a wave) would not necessarily
+// trip the race detector — it would silently change results — so the
+// invariants get direct coverage here in addition to the end-to-end
+// differential suite.
+
+func waveGraph(t testing.TB, source string) *callgraph.Graph {
+	t.Helper()
+	f, err := parser.Parse(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return callgraph.Build(irbuild.Build(sp))
+}
+
+// TestSCCWavesInvariants checks, over a spread of random call graphs:
+// (1) the waves partition the node set exactly, and (2) every callee
+// outside a node's own SCC sits in a strictly earlier wave — the
+// property that makes deferred publication safe.
+func TestSCCWavesInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		cg := waveGraph(t, suite.Random(seed, int(3+seed%8)).Source)
+		waves := sccWaves(cg)
+
+		waveOf := map[*callgraph.Node]int{}
+		total := 0
+		for w, wave := range waves {
+			if len(wave) == 0 {
+				t.Fatalf("seed %d: empty wave %d", seed, w)
+			}
+			for _, n := range wave {
+				if _, dup := waveOf[n]; dup {
+					t.Fatalf("seed %d: %s appears in two waves", seed, n.Proc.Name)
+				}
+				waveOf[n] = w
+				total++
+			}
+		}
+		if total != len(cg.Nodes) {
+			t.Fatalf("seed %d: waves cover %d of %d nodes", seed, total, len(cg.Nodes))
+		}
+		for n, w := range waveOf {
+			for _, m := range n.Callees {
+				if m.SCC == n.SCC {
+					continue // intra-SCC edges never exchange summaries
+				}
+				if waveOf[m] >= w {
+					t.Fatalf("seed %d: callee %s (wave %d) not before caller %s (wave %d)",
+						seed, m.Proc.Name, waveOf[m], n.Proc.Name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestSCCWavesRecursion pins the wave placement of a recursive clique:
+// mutually recursive procedures share an SCC, land in one wave
+// together, and their external callee still precedes them.
+func TestSCCWavesRecursion(t *testing.T) {
+	cg := waveGraph(t, `
+PROGRAM P
+  CALL A(3)
+END
+SUBROUTINE A(N)
+  INTEGER N
+  CALL B(N)
+  RETURN
+END
+SUBROUTINE B(N)
+  INTEGER N
+  IF (N .GT. 0) THEN
+    CALL A(N - 1)
+  ENDIF
+  CALL LEAF(N)
+  RETURN
+END
+SUBROUTINE LEAF(N)
+  INTEGER N
+  RETURN
+END
+`)
+	waves := sccWaves(cg)
+	waveOf := map[string]int{}
+	for w, wave := range waves {
+		for _, n := range wave {
+			waveOf[n.Proc.Name] = w
+		}
+	}
+	if waveOf["A"] != waveOf["B"] {
+		t.Errorf("recursive pair split across waves: A=%d B=%d", waveOf["A"], waveOf["B"])
+	}
+	if waveOf["LEAF"] >= waveOf["A"] {
+		t.Errorf("external callee LEAF (wave %d) not before its recursive callers (wave %d)",
+			waveOf["LEAF"], waveOf["A"])
+	}
+	if waveOf["P"] <= waveOf["A"] {
+		t.Errorf("main (wave %d) not after the procedures it calls (wave %d)", waveOf["P"], waveOf["A"])
+	}
+}
+
+// TestParallelFor covers the pool across worker counts: every index is
+// visited exactly once, including the inline workers<=1 path and pools
+// wider than the work list.
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 7, 100} {
+			visits := make([]atomic.Int32, n)
+			parallelFor(workers, n, func(i int) { visits[i].Add(1) })
+			for i := range visits {
+				if got := visits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolSize pins the Workers resolution rule the Config documents.
+func TestPoolSize(t *testing.T) {
+	if got := poolSize(3); got != 3 {
+		t.Errorf("poolSize(3) = %d", got)
+	}
+	if got := poolSize(1); got != 1 {
+		t.Errorf("poolSize(1) = %d", got)
+	}
+	if got := poolSize(0); got < 1 {
+		t.Errorf("poolSize(0) = %d, want >= 1", got)
+	}
+	if got := poolSize(-4); got < 1 {
+		t.Errorf("poolSize(-4) = %d, want >= 1", got)
+	}
+}

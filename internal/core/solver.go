@@ -67,7 +67,7 @@ func (p *pipeline) stage3Propagate() {
 		proc := work[0]
 		work = work[1:]
 		queued[proc] = false
-		p.solverPasses++
+		p.solverPasses.Add(1)
 
 		env := procEnv{p: p, at: proc}
 		for _, b := range proc.Blocks {
@@ -115,9 +115,10 @@ func (p *pipeline) stage3Propagate() {
 }
 
 // evalJF evaluates one jump function under the caller's VAL set. A nil
-// jump function is ⊥.
+// jump function is ⊥. The counter is atomic so the tally stays exact
+// even if a future solver evaluates jump functions concurrently.
 func (p *pipeline) evalJF(jf sym.Expr, env sym.Env) lattice.Value {
-	p.jfEvals++
+	p.jfEvals.Add(1)
 	if jf == nil {
 		return lattice.Bottom
 	}

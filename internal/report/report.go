@@ -83,13 +83,12 @@ at most twice (T -> constant -> _|_).
 `
 }
 
-// Suite loads the 12-program suite once at the default scale.
+// Suite generates and loads the 12-program suite once at the default
+// scale, one program per suite-runner worker.
 func Suite() []*Loaded {
-	var ls []*Loaded
-	for _, p := range suite.Programs() {
-		ls = append(ls, NewLoaded(p, ipcp.MustLoad(p.Source)))
-	}
-	return ls
+	return suite.Run(suite.DefaultScale, 0, func(p *suite.Program) *Loaded {
+		return NewLoaded(p, ipcp.MustLoad(p.Source))
+	})
 }
 
 // rows fills one table row per program concurrently — the analyses are
@@ -147,10 +146,16 @@ func Table1(progs []*Loaded) *Table {
 	return t
 }
 
-func analyze(l *Loaded, j ipcp.JumpFunction, ret, mod, complete bool) int {
-	return l.prog.Analyze(ipcp.Config{
-		Jump: j, ReturnJumpFunctions: ret, MOD: mod, Complete: complete,
-	}).TotalSubstituted
+// analyzeColumns runs one program's table columns as a single
+// configuration matrix: the parse + sema + IR lowering are shared and
+// the configurations fan out over the worker pool, replacing the old
+// one-Analyze-per-cell sequential loop. Column order follows cfgs.
+func analyzeColumns(l *Loaded, cfgs []ipcp.Config) []string {
+	cells := make([]string, len(cfgs))
+	for i, rep := range l.prog.AnalyzeMatrix(cfgs, 0) {
+		cells[i] = fmt.Sprintf("%d", rep.TotalSubstituted)
+	}
+	return cells
 }
 
 // Table2 regenerates "Constants found through use of jump functions":
@@ -164,16 +169,16 @@ func Table2(progs []*Loaded) *Table {
 			"Poly (no RJF)", "Pass (no RJF)"},
 		Note: "First four columns use return jump functions; last two do not.",
 	}
+	cfgs := []ipcp.Config{
+		{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true},
+		{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true},
+		{Jump: ipcp.Intraprocedural, ReturnJumpFunctions: true, MOD: true},
+		{Jump: ipcp.Literal, ReturnJumpFunctions: true, MOD: true},
+		{Jump: ipcp.Polynomial, MOD: true},
+		{Jump: ipcp.PassThrough, MOD: true},
+	}
 	t.Rows = rows(progs, func(l *Loaded) []string {
-		return []string{
-			l.meta.Name,
-			fmt.Sprintf("%d", analyze(l, ipcp.Polynomial, true, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.PassThrough, true, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.Intraprocedural, true, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.Literal, true, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.Polynomial, false, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.PassThrough, false, true, false)),
-		}
+		return append([]string{l.meta.Name}, analyzeColumns(l, cfgs)...)
 	})
 	return t
 }
@@ -187,14 +192,14 @@ func Table3(progs []*Loaded) *Table {
 			"Poly w/o MOD", "Poly w/ MOD", "Complete", "Intraproc only"},
 		Note: "Complete = polynomial propagation iterated with dead-code elimination.",
 	}
+	cfgs := []ipcp.Config{
+		{Jump: ipcp.Polynomial, ReturnJumpFunctions: true},
+		{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true},
+		{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true},
+	}
 	t.Rows = rows(progs, func(l *Loaded) []string {
-		return []string{
-			l.meta.Name,
-			fmt.Sprintf("%d", analyze(l, ipcp.Polynomial, true, false, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.Polynomial, true, true, false)),
-			fmt.Sprintf("%d", analyze(l, ipcp.Polynomial, true, true, true)),
-			fmt.Sprintf("%d", l.prog.AnalyzeIntraprocedural().TotalSubstituted),
-		}
+		return append(append([]string{l.meta.Name}, analyzeColumns(l, cfgs)...),
+			fmt.Sprintf("%d", l.prog.AnalyzeIntraprocedural().TotalSubstituted))
 	})
 	return t
 }

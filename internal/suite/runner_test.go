@@ -1,0 +1,27 @@
+package suite
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Run must return results in suite order whatever the worker count, and
+// identical sources across runs — generation has no shared state for
+// workers to race on. Runs under -race via scripts/check.sh.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	source := func(p *Program) string { return p.Source }
+	want := Run(2, 1, source)
+	if len(want) != len(Names()) {
+		t.Fatalf("Run produced %d results for %d programs", len(want), len(Names()))
+	}
+	for i, name := range Names() {
+		if want[i] != Generate(name, 2).Source {
+			t.Fatalf("Run result %d is not %s's source", i, name)
+		}
+	}
+	for _, workers := range []int{0, 2, 8, 64} {
+		if got := Run(2, workers, source); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Run with %d workers diverged from sequential", workers)
+		}
+	}
+}

@@ -78,13 +78,10 @@ func Names() []string {
 	return names
 }
 
-// Programs generates the full 12-program suite at DefaultScale.
+// Programs generates the full 12-program suite at DefaultScale,
+// fanning the generators out over the CPUs (see Run).
 func Programs() []*Program {
-	ps := make([]*Program, len(generators))
-	for i := range generators {
-		ps[i] = Generate(generators[i].name, DefaultScale)
-	}
-	return ps
+	return Run(DefaultScale, 0, func(p *Program) *Program { return p })
 }
 
 // Generate builds one named program at the given scale (≥1). Generation

@@ -112,6 +112,13 @@ type Config struct {
 	// support actually changed are re-evaluated, matching the
 	// complexity bound quoted in §3.1.5.
 	DependenceSolver bool
+
+	// Workers bounds the goroutines the per-procedure analysis stages
+	// (SSA construction, value numbering, jump-function generation) fan
+	// out over. 0 means one worker per available CPU; 1 forces the
+	// sequential reference path. The Report is identical for every
+	// setting — see DESIGN.md, "Concurrency model".
+	Workers int
 }
 
 func (c Config) internal() core.Config {
@@ -121,6 +128,7 @@ func (c Config) internal() core.Config {
 		MOD:              c.MOD,
 		Complete:         c.Complete,
 		DependenceSolver: c.DependenceSolver,
+		Workers:          c.Workers,
 	}
 }
 

@@ -1,0 +1,40 @@
+#!/bin/sh
+# check.sh — the repo's CI gate.
+#
+# Runs, in order:
+#   1. go vet          static checks
+#   2. go build        every package compiles
+#   3. go test -race   the full test suite under the race detector,
+#                      which turns the concurrency regression tests and
+#                      the determinism differential suite into a
+#                      shared-state audit of the parallel pipeline
+#   4. the determinism suite a second time (-count=2 disables test
+#      caching), so schedule-dependent flakiness has two chances to
+#      show up per CI run
+#
+# Usage: scripts/check.sh [-short]
+#   -short trims the random-program sweeps (200 -> 40 seeds) for a
+#   faster local pre-commit pass; CI should run the full version.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race $short ./..."
+go test -race $short ./...
+
+echo "==> go test -race -run 'TestDeterminism' -count=2 $short ."
+go test -race -run 'TestDeterminism' -count=2 $short .
+
+echo "OK"
