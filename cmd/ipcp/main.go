@@ -50,7 +50,29 @@ func main() {
 	suiteName := flag.String("suite", "", "analyze a generated benchmark program instead of a file")
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
+	passes := flag.Bool("passes", false, "print the pass pipeline the configuration would run, then exit")
+	tracePasses := flag.Bool("trace-passes", false, "print the per-pass execution table after analysis")
+	debug := flag.Bool("debug", false, "verify the IR between passes and fail fast naming a corrupting pass")
 	flag.Parse()
+
+	j, ok := jumpNames[strings.ToLower(*jumpFlag)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ipcp: unknown jump function %q\n", *jumpFlag)
+		os.Exit(2)
+	}
+
+	if *passes {
+		cfg := ipcp.Config{
+			Jump:                j,
+			ReturnJumpFunctions: !*noRet,
+			MOD:                 !*noMod,
+			Complete:            *complete,
+		}
+		for _, line := range ipcp.DescribePipeline(cfg) {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	prog, name, err := load(*suiteName, *scale, flag.Args())
 	if err != nil {
@@ -82,23 +104,22 @@ func main() {
 		return
 	}
 
-	j, ok := jumpNames[strings.ToLower(*jumpFlag)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ipcp: unknown jump function %q\n", *jumpFlag)
-		os.Exit(2)
-	}
 	if *cloneFlag {
 		out := prog.AnalyzeWithCloning(ipcp.Config{
 			Jump:                j,
 			ReturnJumpFunctions: !*noRet,
 			MOD:                 !*noMod,
 			Workers:             *workers,
+			Debug:               *debug,
 		}, ipcp.CloneOptions{})
 		fmt.Printf("%s: goal-directed cloning with %s jump functions\n", name, j)
 		fmt.Printf("  before: %d constants, %d references\n",
 			out.Base.TotalConstants, out.Base.TotalSubstituted)
 		fmt.Printf("  after:  %d constants, %d references (%d clones in %d rounds)\n",
 			out.Final.TotalConstants, out.Final.TotalSubstituted, out.TotalClones, out.Rounds)
+		if *tracePasses {
+			fmt.Print(out.Final.PassTrace())
+		}
 		return
 	}
 	rep := prog.Analyze(ipcp.Config{
@@ -107,6 +128,7 @@ func main() {
 		MOD:                 !*noMod,
 		Complete:            *complete,
 		Workers:             *workers,
+		Debug:               *debug,
 	})
 	fmt.Printf("%s: %s jump functions", name, j)
 	if *noRet {
@@ -123,6 +145,10 @@ func main() {
 	fmt.Printf("  references substituted:    %d\n", rep.TotalSubstituted)
 	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
 		rep.SolverPasses, rep.JFEvaluations)
+
+	if *tracePasses {
+		fmt.Print(rep.PassTrace())
+	}
 
 	if *emit {
 		src, n, err := prog.TransformedSource(rep)

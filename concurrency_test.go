@@ -24,6 +24,7 @@ func TestProgramConcurrentEntryPoints(t *testing.T) {
 	}
 	cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
 	want := prog.Analyze(cfg)
+	normalizeReports([]*ipcp.Report{want})
 
 	const goroutines = 8
 	var wg sync.WaitGroup
@@ -32,7 +33,9 @@ func TestProgramConcurrentEntryPoints(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if rep := prog.Analyze(cfg); !reflect.DeepEqual(rep, want) {
+			rep := prog.Analyze(cfg)
+			normalizeReports([]*ipcp.Report{rep})
+			if !reflect.DeepEqual(rep, want) {
 				errs <- "Analyze diverged under concurrency"
 			}
 			prog.AnalyzeIntraprocedural()
@@ -66,6 +69,7 @@ func TestAnalyzeMatrixConcurrentSameProgram(t *testing.T) {
 	prog := ipcp.MustLoad(suite.Generate("ocean", 2).Source)
 	cfgs := ipcp.FullMatrix()
 	want := prog.AnalyzeMatrix(cfgs, 1)
+	normalizeReports(want)
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -75,6 +79,7 @@ func TestAnalyzeMatrixConcurrentSameProgram(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			got := prog.AnalyzeMatrix(cfgs, 4)
+			normalizeReports(got)
 			for i := range cfgs {
 				if !reflect.DeepEqual(got[i], want[i]) {
 					mu.Lock()

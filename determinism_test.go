@@ -28,23 +28,32 @@ func determinismSeeds(t *testing.T) int {
 }
 
 // determinismConfigs is the configuration grid: the full 4-flavor ×
-// MOD × return-JF matrix, plus the complete-propagation and
-// dependence-solver variants of the most precise configuration.
+// MOD × return-JF matrix, plus complete-propagation variants across
+// the jump-function flavors and the dependence-solver combinations of
+// the most precise configuration. The complete-mode rows route the
+// whole grid through the pass-manager fixpoint driver.
 func determinismConfigs() []ipcp.Config {
 	cfgs := ipcp.FullMatrix()
 	cfgs = append(cfgs,
 		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true},
+		ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true, Complete: true},
+		ipcp.Config{Jump: ipcp.Literal, Complete: true},
 		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true},
+		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true, Complete: true},
 	)
 	return cfgs
 }
 
-// normalizeWorkers clears the one Report field that legitimately
-// differs between the sequential and parallel runs: the echoed
-// Config.Workers knob. Everything else must match exactly.
-func normalizeWorkers(reps []*ipcp.Report) {
+// normalizeReports clears the Report fields that legitimately differ
+// between the sequential and parallel runs: the echoed Config.Workers
+// knob and the wall-clock Nanos of each pass-trace entry. Everything
+// else — the full trace included — must match exactly.
+func normalizeReports(reps []*ipcp.Report) {
 	for _, r := range reps {
 		r.Config.Workers = 0
+		for i := range r.Passes {
+			r.Passes[i].Nanos = 0
+		}
 	}
 }
 
@@ -88,9 +97,9 @@ func TestDeterminismRandomSuite(t *testing.T) {
 			par := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
 			par2 := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
 
-			normalizeWorkers(seq)
-			normalizeWorkers(par)
-			normalizeWorkers(par2)
+			normalizeReports(seq)
+			normalizeReports(par)
+			normalizeReports(par2)
 			for i := range cfgs {
 				if !reflect.DeepEqual(seq[i], par[i]) {
 					t.Fatalf("seed %d config %+v: parallel report diverges from sequential\nseq: %+v\npar: %+v",
@@ -125,8 +134,8 @@ func TestDeterminismHandBuiltSuite(t *testing.T) {
 				seq[i] = prog.Analyze(cfg)
 			}
 			par := prog.AnalyzeMatrix(withWorkers(cfgs, 8), 8)
-			normalizeWorkers(seq)
-			normalizeWorkers(par)
+			normalizeReports(seq)
+			normalizeReports(par)
 			for i := range cfgs {
 				if !reflect.DeepEqual(seq[i], par[i]) {
 					t.Fatalf("%s config %+v: parallel report diverges from sequential", name, cfgs[i])
@@ -144,14 +153,56 @@ func TestDeterminismRepeatedParallelRuns(t *testing.T) {
 	prog := ipcp.MustLoad(suite.Generate("ocean", 4).Source)
 	cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Workers: 8}
 	first := prog.Analyze(cfg)
+	normalizeReports([]*ipcp.Report{first})
 	runs := 20
 	if testing.Short() {
 		runs = 5
 	}
 	for i := 0; i < runs; i++ {
-		if rep := prog.Analyze(cfg); !reflect.DeepEqual(first, rep) {
+		rep := prog.Analyze(cfg)
+		normalizeReports([]*ipcp.Report{rep})
+		if !reflect.DeepEqual(first, rep) {
 			t.Fatalf("run %d diverged from run 0", i+1)
 		}
+	}
+}
+
+// TestDeterminismCloning extends the guarantee to the clone-and-analyze
+// fixpoint: the cloning rounds, the clone names, and every reanalysis
+// must come out identical whether the underlying propagations run
+// sequentially or on 8 workers.
+func TestDeterminismCloning(t *testing.T) {
+	cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+	opts := ipcp.CloneOptions{MaxVersionsPerProc: 8, MaxRounds: 3}
+	for _, name := range []string{"ocean", "linpackd", "spec77"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			gen := suite.Generate(name, 2)
+			if gen == nil {
+				t.Skipf("suite program %s unavailable", name)
+			}
+			prog := ipcp.MustLoad(gen.Source)
+
+			seqCfg := cfg
+			seqCfg.Workers = 1
+			seq := prog.AnalyzeWithCloning(seqCfg, opts)
+			parCfg := cfg
+			parCfg.Workers = 8
+			par := prog.AnalyzeWithCloning(parCfg, opts)
+
+			if seq.Rounds != par.Rounds || seq.TotalClones != par.TotalClones {
+				t.Fatalf("cloning diverged: seq %d rounds/%d clones, par %d rounds/%d clones",
+					seq.Rounds, seq.TotalClones, par.Rounds, par.TotalClones)
+			}
+			normalizeReports([]*ipcp.Report{seq.Base, seq.Final, par.Base, par.Final})
+			if !reflect.DeepEqual(seq.Base, par.Base) {
+				t.Fatal("base report diverged between sequential and parallel cloning runs")
+			}
+			if !reflect.DeepEqual(seq.Final, par.Final) {
+				t.Fatal("final report diverged between sequential and parallel cloning runs")
+			}
+		})
 	}
 }
 
@@ -171,6 +222,8 @@ func TestAnalyzeMatrixMatchesAnalyze(t *testing.T) {
 			direct[i] = prog.Analyze(cfg)
 		}
 		matrix := prog.AnalyzeMatrix(cfgs, 0)
+		normalizeReports(direct)
+		normalizeReports(matrix)
 		for i := range cfgs {
 			if !reflect.DeepEqual(direct[i], matrix[i]) {
 				t.Fatalf("%s config %+v: matrix report diverges from direct Analyze", path, cfgs[i])

@@ -4,6 +4,7 @@ import (
 	"ipcp/internal/analysis/inline"
 	"ipcp/internal/core"
 	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/pass"
 )
 
 // IntegrationBaseline runs the paper's §5 comparison, for which "data
@@ -30,9 +31,12 @@ func (p *Program) IntegrationBaseline() (ipcp, integration, intra, inlinedSites 
 	}).TotalSubstituted
 	intra = core.AnalyzeIntraprocedural(p.sp).TotalSubstituted
 
-	prog := irbuild.Build(p.sp)
-	inlined, stats := inline.Program(prog, nil)
-	integration = core.AnalyzeIntraproceduralIR(inlined).TotalSubstituted
-	inlinedSites = stats.Inlined
+	ctx := pass.NewContext(irbuild.Build(p.sp))
+	ip := inline.NewPass(nil)
+	if err := pass.Run(ctx, pass.NewRegistry(), pass.NewPipeline("integration", ip)); err != nil {
+		panic("ipcp: " + err.Error())
+	}
+	integration = core.AnalyzeIntraproceduralIR(ctx.Program()).TotalSubstituted
+	inlinedSites = ip.Stats().Inlined
 	return ipcp, integration, intra, inlinedSites
 }

@@ -1,0 +1,69 @@
+package dce
+
+import (
+	"fmt"
+
+	"ipcp/internal/analysis/sccp"
+	"ipcp/internal/ir"
+	"ipcp/internal/pass"
+)
+
+// Pass is whole-program dead-code elimination as a pass-manager
+// transform: it consumes the SCCP results published under
+// sccp.FactResults (the runner provisions them automatically) and
+// replaces the program with a fresh pre-SSA version when any procedure
+// lost code. The complete-propagation DCE in internal/core is the
+// interprocedurally-seeded variant of this pass.
+type Pass struct {
+	stats Stats
+}
+
+// NewPass builds the whole-program DCE pass.
+func NewPass() *Pass { return &Pass{} }
+
+func (p *Pass) Name() string             { return "dce" }
+func (p *Pass) Requires() []pass.Fact    { return []pass.Fact{sccp.FactResults} }
+func (p *Pass) Invalidates() []pass.Fact { return nil } // SetProgram already drops everything
+
+func (p *Pass) Run(ctx *pass.Context) (bool, error) {
+	v, ok := ctx.Fact(sccp.FactResults)
+	if !ok {
+		return false, fmt.Errorf("fact %q missing", sccp.FactResults)
+	}
+	results := v.(map[*ir.Proc]*sccp.Result)
+
+	prog := ctx.Program()
+	np := ir.NewProgram()
+	np.Globals = prog.Globals
+	np.ScalarGlobals = prog.ScalarGlobals
+	p.stats = Stats{}
+	changed := false
+	for _, proc := range prog.Procs {
+		nproc, stats := Transform(proc, results[proc], nil)
+		if stats.Changed {
+			changed = true
+		}
+		p.stats.InstrsRemoved += stats.InstrsRemoved
+		p.stats.BlocksRemoved += stats.BlocksRemoved
+		p.stats.BranchesFolded += stats.BranchesFolded
+		np.AddProc(nproc)
+	}
+	if !changed {
+		return false, nil
+	}
+	p.stats.Changed = true
+	for _, proc := range np.Procs {
+		for _, b := range proc.Blocks {
+			for _, i := range b.Instrs {
+				if i.Op == ir.OpCall {
+					i.Callee = np.ProcByName[i.Callee.Name]
+				}
+			}
+		}
+	}
+	ctx.SetProgram(np)
+	return true, nil
+}
+
+// ProgramStats reports the accumulated removal counts of the last Run.
+func (p *Pass) ProgramStats() Stats { return p.stats }

@@ -1,0 +1,104 @@
+package dce
+
+import (
+	"testing"
+
+	"ipcp/internal/analysis/sccp"
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
+)
+
+func buildProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return irbuild.Build(sp)
+}
+
+// TestPassPipeline drives the sccp→dce adapters through the pass
+// manager: requiring sccp.FactResults provisions the SCCP pass
+// automatically, DCE folds the constant branch, and the fixpoint
+// re-provisions SCCP on the rebuilt program until nothing changes.
+func TestPassPipeline(t *testing.T) {
+	prog := buildProg(t, `
+PROGRAM MAIN
+  INTEGER K, X
+  K = 1
+  IF (K .EQ. 1) THEN
+    X = 2
+  ELSE
+    X = 3
+  ENDIF
+  WRITE(*,*) X
+END
+`)
+	before := 0
+	for _, b := range prog.Main.Blocks {
+		before += len(b.Instrs)
+	}
+
+	reg := pass.NewRegistry()
+	reg.Register(sccp.NewPass(), sccp.FactResults)
+	dp := NewPass()
+	fix := pass.NewFixpoint("opt", dp, 10)
+	ctx := pass.NewContext(prog)
+	ctx.Debug = true
+	if err := pass.Run(ctx, reg, fix); err != nil {
+		t.Fatal(err)
+	}
+
+	np := ctx.Program()
+	if np == prog {
+		t.Fatal("DCE reported convergence without ever rebuilding the program")
+	}
+	after := 0
+	for _, b := range np.Main.Blocks {
+		after += len(b.Instrs)
+	}
+	if after >= before {
+		t.Fatalf("DCE did not shrink MAIN: %d -> %d instrs", before, after)
+	}
+	if err := ir.VerifyProgram(np); err != nil {
+		t.Fatalf("program fails verification after DCE: %v", err)
+	}
+	if _, ok := ctx.Fact(sccp.FactResults); !ok {
+		t.Fatal("converged fixpoint should leave the last SCCP results cached")
+	}
+
+	// The trace shows the provider re-running each round: sccp, dce,
+	// sccp, dce, summary.
+	var names []string
+	for _, st := range ctx.PassStats() {
+		names = append(names, st.Pass)
+	}
+	want := []string{"sccp", "dce", "sccp", "dce", "opt"}
+	if len(names) != len(want) {
+		t.Fatalf("trace %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("trace %v, want %v", names, want)
+		}
+	}
+	if fix.Rounds() != 1 {
+		t.Fatalf("fixpoint rounds = %d, want 1", fix.Rounds())
+	}
+	// ProgramStats reflects the last Run — the converged no-op round —
+	// so the transforming round shows up in the trace instead.
+	if st := dp.ProgramStats(); st.Changed {
+		t.Fatalf("final dce stats = %+v, want the converged no-op round", st)
+	}
+	stats := ctx.PassStats()
+	if st := stats[1]; !st.Changed || st.Instrs >= st.InstrsBefore {
+		t.Fatalf("round-1 dce entry = %+v, want a shrinking change", st)
+	}
+}

@@ -1,0 +1,39 @@
+package inline
+
+import (
+	"ipcp/internal/pass"
+)
+
+// Pass is procedure integration as a pass-manager transform: it
+// replaces the Context's program with the inlined version when any
+// call site was expanded (or any unreachable procedure dropped), and
+// leaves the program untouched otherwise.
+type Pass struct {
+	opts  *Options
+	stats Stats
+}
+
+// NewPass builds the inlining pass (nil opts means defaults).
+func NewPass(opts *Options) *Pass { return &Pass{opts: opts} }
+
+func (p *Pass) Name() string          { return "inline" }
+func (p *Pass) Requires() []pass.Fact { return nil }
+
+// Invalidates is All: inlining rewrites call structure, so every
+// cached analysis fact about the old program is stale.
+func (p *Pass) Invalidates() []pass.Fact { return []pass.Fact{pass.All} }
+
+func (p *Pass) Run(ctx *pass.Context) (bool, error) {
+	np, stats := Program(ctx.Program(), p.opts)
+	p.stats = stats
+	if stats.Inlined == 0 && stats.Dropped == 0 {
+		// Program always returns a private clone; discard it so the
+		// program identity (and every cached fact) survives a no-op.
+		return false, nil
+	}
+	ctx.SetProgram(np)
+	return true, nil
+}
+
+// Stats reports what the last Run did.
+func (p *Pass) Stats() Stats { return p.stats }

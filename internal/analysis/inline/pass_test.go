@@ -1,0 +1,90 @@
+package inline
+
+import (
+	"testing"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
+)
+
+func buildProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return irbuild.Build(sp)
+}
+
+// TestPassReplacesProgram checks the transform side of the adapter:
+// an inlinable call swaps in a fresh program and drops cached facts.
+func TestPassReplacesProgram(t *testing.T) {
+	prog := buildProg(t, `
+PROGRAM MAIN
+  INTEGER I
+  I = 4
+  CALL BUMP(I)
+  WRITE(*,*) I
+END
+
+SUBROUTINE BUMP(N)
+  INTEGER N
+  N = N + 1
+END
+`)
+	ctx := pass.NewContext(prog)
+	ctx.Debug = true
+	ctx.SetFact("stale", 1)
+	ip := NewPass(nil)
+	changed, err := ctx.Exec(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("inlinable call reported no change")
+	}
+	if ctx.Program() == prog {
+		t.Fatal("program identity unchanged after inlining")
+	}
+	if st := ip.Stats(); st.Inlined == 0 {
+		t.Fatalf("stats = %+v, want an inlined site", st)
+	}
+	if _, ok := ctx.Fact("stale"); ok {
+		t.Fatal("cached fact survived an Invalidates(All) transform")
+	}
+}
+
+// TestPassNoOpKeepsIdentity checks the other side: with nothing to
+// inline the adapter discards the private clone so program identity —
+// and every cached fact — survives.
+func TestPassNoOpKeepsIdentity(t *testing.T) {
+	prog := buildProg(t, `
+PROGRAM MAIN
+  INTEGER I
+  I = 4
+  WRITE(*,*) I
+END
+`)
+	ctx := pass.NewContext(prog)
+	ctx.SetFact("keep", 1)
+	changed, err := ctx.Exec(NewPass(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("no-op inlining reported a change")
+	}
+	if ctx.Program() != prog {
+		t.Fatal("no-op inlining replaced the program")
+	}
+	if _, ok := ctx.Fact("keep"); !ok {
+		t.Fatal("no-op inlining dropped a cached fact")
+	}
+}

@@ -1,0 +1,39 @@
+package sccp
+
+import (
+	"ipcp/internal/ir"
+	"ipcp/internal/pass"
+)
+
+// FactResults is the pass-manager fact under which per-procedure SCCP
+// results (map[*ir.Proc]*Result) are published.
+const FactResults pass.Fact = "sccp"
+
+// Pass runs unseeded SCCP over every procedure and publishes the
+// results as FactResults. It builds SSA first where missing (using the
+// Context's mod/ref oracle), which is the only way it changes the
+// program.
+type Pass struct {
+	results map[*ir.Proc]*Result
+}
+
+// NewPass builds the whole-program SCCP analysis pass.
+func NewPass() *Pass { return &Pass{} }
+
+func (p *Pass) Name() string             { return "sccp" }
+func (p *Pass) Requires() []pass.Fact    { return nil }
+func (p *Pass) Invalidates() []pass.Fact { return nil }
+
+func (p *Pass) Run(ctx *pass.Context) (bool, error) {
+	changed := pass.EnsureSSA(ctx)
+	prog := ctx.Program()
+	p.results = make(map[*ir.Proc]*Result, len(prog.Procs))
+	for _, proc := range prog.Procs {
+		p.results[proc] = Run(proc, nil, nil)
+	}
+	ctx.SetFact(FactResults, p.results)
+	return changed, nil
+}
+
+// Results returns the per-procedure outcomes of the last Run.
+func (p *Pass) Results() map[*ir.Proc]*Result { return p.results }

@@ -1,0 +1,39 @@
+package valnum
+
+import (
+	"ipcp/internal/ir"
+	"ipcp/internal/pass"
+)
+
+// FactResults is the pass-manager fact under which per-procedure value
+// numberings (map[*ir.Proc]*Result) are published.
+const FactResults pass.Fact = "valnum"
+
+// Pass value-numbers every procedure (without return jump functions —
+// the interprocedural propagation drives valnum itself when it needs
+// callee summaries) and publishes the results as FactResults. It
+// builds SSA first where missing.
+type Pass struct {
+	results map[*ir.Proc]*Result
+}
+
+// NewPass builds the whole-program value-numbering pass.
+func NewPass() *Pass { return &Pass{} }
+
+func (p *Pass) Name() string             { return "valnum" }
+func (p *Pass) Requires() []pass.Fact    { return nil }
+func (p *Pass) Invalidates() []pass.Fact { return nil }
+
+func (p *Pass) Run(ctx *pass.Context) (bool, error) {
+	changed := pass.EnsureSSA(ctx)
+	prog := ctx.Program()
+	p.results = make(map[*ir.Proc]*Result, len(prog.Procs))
+	for _, proc := range prog.Procs {
+		p.results[proc] = Analyze(proc, nil)
+	}
+	ctx.SetFact(FactResults, p.results)
+	return changed, nil
+}
+
+// Results returns the per-procedure numberings of the last Run.
+func (p *Pass) Results() map[*ir.Proc]*Result { return p.results }

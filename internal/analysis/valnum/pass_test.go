@@ -1,0 +1,64 @@
+package valnum
+
+import (
+	"testing"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
+)
+
+// TestPassPublishesResults checks the pass-manager adapter: one run
+// builds SSA (a program change), numbers every procedure, and publishes
+// the map under FactResults; a second run is a pure analysis.
+func TestPassPublishesResults(t *testing.T) {
+	f, err := parser.Parse(`
+PROGRAM MAIN
+  INTEGER A, B
+  A = 6
+  B = A + 1
+  CALL SHOW(B)
+END
+
+SUBROUTINE SHOW(N)
+  INTEGER N
+  WRITE(*,*) N
+END
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	ctx := pass.NewContext(irbuild.Build(sp))
+
+	vp := NewPass()
+	changed, err := ctx.Exec(vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("first run builds SSA and must report a change")
+	}
+	v, ok := ctx.Fact(FactResults)
+	if !ok {
+		t.Fatal("FactResults not published")
+	}
+	results := v.(map[*ir.Proc]*Result)
+	for _, proc := range ctx.Program().Procs {
+		if results[proc] == nil {
+			t.Fatalf("no numbering for %s", proc.Name)
+		}
+	}
+	if results[ctx.Program().Main].Proc != ctx.Program().Main {
+		t.Fatal("numbering attached to the wrong procedure")
+	}
+
+	if changed, err = ctx.Exec(vp); err != nil || changed {
+		t.Fatalf("second run: changed=%v err=%v, want pure analysis", changed, err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"ipcp/internal/core"
 	"ipcp/internal/core/lattice"
 	"ipcp/internal/ir"
+	"ipcp/internal/pass"
 )
 
 // Options bounds the transformation.
@@ -265,22 +266,67 @@ type Result struct {
 	TotalClones int
 }
 
+// clonePass is one cloning round as a pass: it consumes the current
+// propagation result and replaces the program with the cloned,
+// retargeted version. Requiring FactResult makes the runner reanalyze
+// automatically at the start of every round after the first — the base
+// result is seeded as the initial fact, so the already-analyzed input
+// program is never reanalyzed, exactly as the hand-rolled loop worked.
+type clonePass struct {
+	opts  Options
+	total int
+}
+
+func (c *clonePass) Name() string             { return "clone" }
+func (c *clonePass) Requires() []pass.Fact    { return []pass.Fact{core.FactResult} }
+func (c *clonePass) Invalidates() []pass.Fact { return nil } // SetProgram already drops everything
+
+func (c *clonePass) Run(ctx *pass.Context) (bool, error) {
+	v, ok := ctx.Fact(core.FactResult)
+	if !ok {
+		return false, fmt.Errorf("fact %q missing", core.FactResult)
+	}
+	np, stats := Apply(v.(*core.Result), c.opts)
+	if stats.ClonesCreated == 0 {
+		return false, nil
+	}
+	c.total += stats.ClonesCreated
+	ctx.SetProgram(np)
+	return true, nil
+}
+
 // AndAnalyze iterates propagation and cloning until no more clones are
 // profitable (or the round budget runs out), reanalyzing after each
-// round as Metzger & Stroud's compiler did.
+// round as Metzger & Stroud's compiler did. The iteration is a
+// budgeted pass.Fixpoint — the round cap is a quality budget, not a
+// convergence bound, so exhausting it is not an error; the final
+// program is still reanalyzed (the cloning round invalidated the
+// result fact, and the trailing Require re-provisions it).
 func AndAnalyze(base *core.Result, cfg core.Config, opts Options) *Result {
 	opts.fill()
 	out := &Result{Base: base, Final: base}
-	cur := base
-	for round := 0; round < opts.MaxRounds; round++ {
-		np, stats := Apply(cur, opts)
-		if stats.ClonesCreated == 0 {
-			break
-		}
-		out.Rounds++
-		out.TotalClones += stats.ClonesCreated
-		cur = core.AnalyzeIR(np, cfg)
-		out.Final = cur
+
+	ctx := pass.NewContext(base.Prog)
+	ctx.Debug = cfg.Debug
+	ctx.SetFact(core.FactResult, base)
+	reg := pass.NewRegistry()
+	reg.Register(core.NewPropagate(cfg), core.FactResult)
+	cp := &clonePass{opts: opts}
+	fix := pass.NewBudgetedFixpoint("clone", cp, opts.MaxRounds)
+	if err := pass.Run(ctx, reg, pass.NewPipeline("clone-and-analyze", fix)); err != nil {
+		panic("clone: " + err.Error())
+	}
+	if err := ctx.Require(core.FactResult); err != nil {
+		panic("clone: " + err.Error())
+	}
+
+	v, _ := ctx.Fact(core.FactResult)
+	final := v.(*core.Result)
+	out.Rounds = fix.Rounds()
+	out.TotalClones = cp.total
+	out.Final = final
+	if final != base {
+		final.Stats.Passes = ctx.PassStats()
 	}
 	return out
 }

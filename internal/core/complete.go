@@ -1,11 +1,38 @@
 package core
 
 import (
+	"fmt"
+
 	"ipcp/internal/analysis/dce"
 	"ipcp/internal/analysis/sccp"
 	"ipcp/internal/core/lattice"
 	"ipcp/internal/ir"
+	"ipcp/internal/pass"
 )
+
+// dcePass is one round of the paper's complete propagation as a pass:
+// it consumes the current propagation result (re-provisioned by the
+// runner whenever a previous round replaced the program) and removes
+// the code the discovered constants prove dead. Iterated under
+// pass.Fixpoint it reproduces Table 3's "complete" column.
+type dcePass struct{}
+
+func (d *dcePass) Name() string             { return "dce" }
+func (d *dcePass) Requires() []pass.Fact    { return []pass.Fact{FactResult} }
+func (d *dcePass) Invalidates() []pass.Fact { return nil } // SetProgram already drops everything
+
+func (d *dcePass) Run(ctx *pass.Context) (bool, error) {
+	v, ok := ctx.Fact(FactResult)
+	if !ok {
+		return false, fmt.Errorf("fact %q missing", FactResult)
+	}
+	np, changed := eliminateDeadCode(v.(*Result))
+	if !changed {
+		return false, nil
+	}
+	ctx.SetProgram(np)
+	return true, nil
+}
 
 // eliminateDeadCode performs one round of the paper's complete
 // propagation (Table 3, column 3): seed each procedure's SCCP with its
@@ -18,11 +45,6 @@ func eliminateDeadCode(res *Result) (*ir.Program, bool) {
 	np := ir.NewProgram()
 	np.Globals = prog.Globals
 	np.ScalarGlobals = prog.ScalarGlobals
-
-	globalIndex := make(map[*ir.GlobalVar]int, len(prog.ScalarGlobals))
-	for i, g := range prog.ScalarGlobals {
-		globalIndex[g] = i
-	}
 
 	changed := false
 	for _, proc := range prog.Procs {

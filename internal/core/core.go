@@ -24,6 +24,7 @@ import (
 	"ipcp/internal/ir"
 	"ipcp/internal/ir/irbuild"
 	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
 	"ipcp/internal/sym"
 )
 
@@ -62,6 +63,10 @@ type Config struct {
 	// 1 forces the sequential reference path. Results are identical for
 	// every setting — the determinism tests prove it.
 	Workers int
+
+	// Debug makes the pass runner verify the IR after every pass and
+	// fail fast naming the pass that corrupted it.
+	Debug bool
 }
 
 // NamedConstant is one (name, value) member of a CONSTANTS(p) set.
@@ -164,6 +169,11 @@ type Stats struct {
 
 	// JFEvaluations counts jump-function evaluations during stage 3.
 	JFEvaluations int64
+
+	// Passes is the pass-manager trace of the run: one entry per pass
+	// execution plus one summary per fixpoint, in completion order.
+	// Every field except the wall-clock Nanos is deterministic.
+	Passes []pass.Stat
 }
 
 // JFShapeStats classifies constructed forward jump functions.
@@ -201,24 +211,28 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// analyzeConfigured runs one full configured analysis — the propagation
-// plus the complete-propagation DCE iteration — over a fresh pre-SSA
-// program. cfg must already have its defaults filled.
+// analyzeConfigured runs one full configured analysis over a fresh
+// pre-SSA program by executing the declared pass plan: a plain
+// propagation pipeline, or — for complete propagation — a verified
+// fixpoint of DCE whose ipcp-result requirement re-runs propagation
+// each round (the paper resets every lattice value to ⊤ and propagates
+// again from scratch on the cleaned program). cfg must already have
+// its defaults filled.
 func analyzeConfigured(irp *ir.Program, cfg Config) *Result {
-	res := analyzeIR(irp, cfg)
-	if !cfg.Complete {
-		return res
+	pl := newPlan(cfg)
+	ctx := pass.NewContext(irp)
+	ctx.Debug = cfg.Debug
+	if err := pass.Run(ctx, pl.reg, pl.root); err != nil {
+		// Pipeline errors here are invariant violations (a pass that
+		// never converges, or corrupts the IR under Debug), not user
+		// errors — surface them loudly.
+		panic("core: " + err.Error())
 	}
-	for round := 0; round < cfg.MaxDCERounds; round++ {
-		next, changed := eliminateDeadCode(res)
-		if !changed {
-			break
-		}
-		// The paper resets every lattice value to ⊤ and propagates
-		// again from scratch on the cleaned program.
-		res = analyzeIR(next, cfg)
-		res.DCERounds = round + 1
+	res := pl.prop.Result()
+	if pl.fix != nil {
+		res.DCERounds = pl.fix.Rounds()
 	}
+	res.Stats.Passes = ctx.PassStats()
 	return res
 }
 
@@ -247,28 +261,24 @@ func AnalyzeMatrix(sp *sema.Program, cfgs []Config, workers int) []*Result {
 	return out
 }
 
-// AnalyzeIR runs one propagation over an already-lowered program. The
-// program must be fresh (pre-SSA); Analyze is the usual entry point.
+// AnalyzeIR runs one propagation (never the complete-propagation
+// iteration) over an already-lowered program. The program must be
+// fresh (pre-SSA); Analyze is the usual entry point.
 func AnalyzeIR(irp *ir.Program, cfg Config) *Result {
-	return analyzeIR(irp, cfg.withDefaults())
-}
-
-// analyzeIR is stages 1–4 on one IR instance.
-func analyzeIR(irp *ir.Program, cfg Config) *Result {
-	pipe := newPipeline(irp, cfg)
-	pipe.buildSSA()
-	pipe.stage1ReturnJFs()
-	pipe.stage2ForwardJFs()
-	if cfg.DependenceSolver {
-		pipe.stage3PropagateDependence()
-	} else {
-		pipe.stage3Propagate()
+	cfg = cfg.withDefaults()
+	ctx := pass.NewContext(irp)
+	ctx.Debug = cfg.Debug
+	prop := NewPropagate(cfg)
+	if err := pass.Run(ctx, pass.NewRegistry(), pass.NewPipeline("propagation", prop)); err != nil {
+		panic("core: " + err.Error())
 	}
-	return pipe.stage4Record()
+	res := prop.Result()
+	res.Stats.Passes = ctx.PassStats()
+	return res
 }
 
 // pipeline carries the per-run state between stages.
-type pipeline struct {
+type propagation struct {
 	cfg     Config
 	workers int // resolved pool size for the per-procedure stages
 	prog    *ir.Program
@@ -288,12 +298,24 @@ type pipeline struct {
 	jfShape      JFShapeStats
 }
 
-func newPipeline(irp *ir.Program, cfg Config) *pipeline {
-	p := &pipeline{
+// newPropagation assembles the per-run stage state. cg and mods are
+// the whole-program caches, normally supplied by the pass Context so
+// repeated propagations over the same program share them; nil means
+// build fresh (the callgraph must come from the pre-SSA program, so it
+// is taken before any stage runs).
+func newPropagation(irp *ir.Program, cfg Config, cg *callgraph.Graph, mods *modref.Summary) *propagation {
+	if cg == nil {
+		cg = callgraph.Build(irp)
+	}
+	if mods == nil {
+		mods = modref.Compute(irp, cg)
+	}
+	p := &propagation{
 		cfg:         cfg,
 		workers:     poolSize(cfg.Workers),
 		prog:        irp,
-		cg:          callgraph.Build(irp),
+		cg:          cg,
+		mods:        mods,
 		globalIndex: make(map[*ir.GlobalVar]int, len(irp.ScalarGlobals)),
 		vns:         make(map[*ir.Proc]*valnum.Result, len(irp.Procs)),
 		sites:       make(map[*ir.Instr]*jump.Site),
@@ -301,7 +323,6 @@ func newPipeline(irp *ir.Program, cfg Config) *pipeline {
 	for i, g := range irp.ScalarGlobals {
 		p.globalIndex[g] = i
 	}
-	p.mods = modref.Compute(irp, p.cg)
 	p.oracle = ir.WorstCase
 	if cfg.MOD {
 		p.oracle = p.mods.Oracle()
@@ -312,7 +333,7 @@ func newPipeline(irp *ir.Program, cfg Config) *pipeline {
 // buildSSA converts every procedure to SSA form, fanning out over the
 // worker pool: BuildSSA mutates only its own procedure and the MOD
 // oracle is read-only, so the procedures are independent.
-func (p *pipeline) buildSSA() {
+func (p *propagation) buildSSA() {
 	procs := p.prog.Procs
 	parallelFor(p.workers, len(procs), func(i int) {
 		procs[i].BuildSSA(p.oracle)
@@ -330,7 +351,7 @@ func (p *pipeline) buildSSA() {
 // parallel; the summaries a wave produced are published sequentially
 // before the next wave starts. Without return jump functions there are
 // no cross-procedure reads at all and the whole stage is one wave.
-func (p *pipeline) stage1ReturnJFs() {
+func (p *propagation) stage1ReturnJFs() {
 	p.retJFs = jump.NewStore(p.prog)
 	var re valnum.ReturnEval
 	if p.cfg.ReturnJFs {
@@ -366,7 +387,7 @@ func (p *pipeline) stage1ReturnJFs() {
 // value-numbered expressions of its Ret operands: the exit value of each
 // binding must agree (be congruent) across every RETURN and be a closed
 // polynomial over the procedure's entry values.
-func (p *pipeline) buildReturns(proc *ir.Proc, vn *valnum.Result) *jump.Returns {
+func (p *propagation) buildReturns(proc *ir.Proc, vn *valnum.Result) *jump.Returns {
 	r := &jump.Returns{
 		Formal: make([]sym.Expr, len(proc.Formals)),
 		Global: make(map[*ir.GlobalVar]sym.Expr),
@@ -430,7 +451,7 @@ func (p *pipeline) buildReturns(proc *ir.Proc, vn *valnum.Result) *jump.Returns 
 // independent here — every worker reads only its own procedure's value
 // numbering — so the fan-out needs no waves; per-procedure results land
 // in indexed slots and merge in call-graph order.
-func (p *pipeline) stage2ForwardJFs() {
+func (p *propagation) stage2ForwardJFs() {
 	nodes := p.cg.TopDown()
 	type procSites struct {
 		sites []*jump.Site
@@ -502,7 +523,7 @@ func (s *JFShapeStats) add(o JFShapeStats) {
 }
 
 // stage4Record assembles the CONSTANTS sets and the substitution counts.
-func (p *pipeline) stage4Record() *Result {
+func (p *propagation) stage4Record() *Result {
 	res := &Result{
 		Config:        p.cfg,
 		Prog:          p.prog,

@@ -20,7 +20,7 @@ import (
 //   - it is not a by-reference actual whose formal the callee may
 //     modify (replacing such a reference with a literal would change
 //     the program, so the transformer leaves it).
-func (p *pipeline) countSubstitutions(proc *ir.Proc) (count, controlFlow int) {
+func (p *propagation) countSubstitutions(proc *ir.Proc) (count, controlFlow int) {
 	constEntry := p.constEntryValues(proc)
 	if len(constEntry) == 0 {
 		return 0, 0
@@ -57,7 +57,7 @@ func (p *pipeline) countSubstitutions(proc *ir.Proc) (count, controlFlow int) {
 
 // constEntryValues returns the set of entry SSA values whose formal or
 // global has a constant VAL.
-func (p *pipeline) constEntryValues(proc *ir.Proc) map[*ir.Value]bool {
+func (p *propagation) constEntryValues(proc *ir.Proc) map[*ir.Value]bool {
 	set := make(map[*ir.Value]bool)
 	fv := p.vals.formals[proc]
 	for i, f := range proc.Formals {

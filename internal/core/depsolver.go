@@ -34,7 +34,7 @@ type jfInstance struct {
 
 // stage3PropagateDependence runs the dependence-driven solver. It
 // replaces stage3Propagate when Config.DependenceSolver is set.
-func (p *pipeline) stage3PropagateDependence() {
+func (p *propagation) stage3PropagateDependence() {
 	p.initVals()
 
 	// Build jump-function instances and the input → instances index.
@@ -140,7 +140,7 @@ func (p *pipeline) stage3PropagateDependence() {
 }
 
 // initVals sets up the VAL sets (shared by both solvers).
-func (p *pipeline) initVals() {
+func (p *propagation) initVals() {
 	p.vals = &vals{
 		formals: make(map[*ir.Proc][]lattice.Value, len(p.prog.Procs)),
 		globals: make(map[*ir.Proc][]lattice.Value, len(p.prog.Procs)),

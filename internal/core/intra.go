@@ -1,12 +1,11 @@
 package core
 
 import (
-	"ipcp/internal/analysis/callgraph"
-	"ipcp/internal/analysis/modref"
 	"ipcp/internal/analysis/sccp"
 	"ipcp/internal/ir"
 	"ipcp/internal/ir/irbuild"
 	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
 )
 
 // IntraResult is the outcome of the purely intraprocedural baseline
@@ -35,16 +34,15 @@ func AnalyzeIntraprocedural(sp *sema.Program) *IntraResult {
 // already-lowered (pre-SSA) program; the procedure-integration baseline
 // uses it on inlined programs.
 func AnalyzeIntraproceduralIR(irp *ir.Program) *IntraResult {
-	cg := callgraph.Build(irp)
-	mods := modref.Compute(irp, cg)
-	oracle := mods.Oracle()
-	for _, proc := range irp.Procs {
-		proc.BuildSSA(oracle)
+	ctx := pass.NewContext(irp)
+	sp := sccp.NewPass()
+	if err := pass.Run(ctx, pass.NewRegistry(), pass.NewPipeline("intraprocedural", sp)); err != nil {
+		panic("core: " + err.Error())
 	}
+	oracle := ctx.ModRef().Oracle()
 	res := &IntraResult{Substituted: make(map[string]int, len(irp.Procs))}
 	for _, proc := range irp.Procs {
-		sres := sccp.Run(proc, nil, nil)
-		n := countIntraSubstitutions(proc, sres, oracle)
+		n := countIntraSubstitutions(proc, sp.Results()[proc], oracle)
 		res.Substituted[proc.Name] = n
 		res.TotalSubstituted += n
 	}

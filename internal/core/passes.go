@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"ipcp/internal/pass"
+)
+
+// FactResult is the pass-manager fact under which the interprocedural
+// propagation result (*Result) is published. Passes that consume the
+// analysis (DCE, cloning) declare it in Requires; the runner then
+// re-propagates automatically whenever a transformation invalidated it.
+const FactResult pass.Fact = "ipcp-result"
+
+// Propagate is the four-stage interprocedural constant propagation
+// (§4.1) as a pass: return jump functions bottom-up, forward jump
+// functions via value numbering, VAL-set propagation, CONSTANTS
+// recording. It publishes its *Result as FactResult. It reports
+// changed=true because SSA construction rewrites the program in place.
+type Propagate struct {
+	cfg  Config
+	last *Result
+}
+
+// NewPropagate builds the propagation pass for one configuration
+// (defaults filled).
+func NewPropagate(cfg Config) *Propagate {
+	return &Propagate{cfg: cfg.withDefaults()}
+}
+
+func (p *Propagate) Name() string             { return "propagate" }
+func (p *Propagate) Requires() []pass.Fact    { return nil }
+func (p *Propagate) Invalidates() []pass.Fact { return nil }
+
+// Run executes stages 1–4 over the Context's current program, sharing
+// the Context's callgraph and mod/ref caches. The callgraph is taken
+// before SSA construction mutates call instructions — order matters.
+func (p *Propagate) Run(ctx *pass.Context) (bool, error) {
+	pr := newPropagation(ctx.Program(), p.cfg, ctx.CallGraph(), ctx.ModRef())
+	pr.buildSSA()
+	pr.stage1ReturnJFs()
+	pr.stage2ForwardJFs()
+	if p.cfg.DependenceSolver {
+		pr.stage3PropagateDependence()
+	} else {
+		pr.stage3Propagate()
+	}
+	p.last = pr.stage4Record()
+	ctx.SetFact(FactResult, p.last)
+	return true, nil
+}
+
+// Result returns the most recent propagation outcome.
+func (p *Propagate) Result() *Result { return p.last }
+
+// plan is the declared pass composition for one configuration: the
+// propagation pass registered as the ipcp-result provider, and either
+// a plain pipeline or the complete-propagation DCE fixpoint as root.
+type plan struct {
+	prop *Propagate
+	fix  *pass.Fixpoint
+	reg  *pass.Registry
+	root pass.Pass
+}
+
+// newPlan declares the pipeline for cfg. In complete mode the root is
+// a fixpoint over DCE alone: DCE requires FactResult, so the runner
+// inserts a fresh propagation at the start of every round (and skips
+// the redundant one after the round that found nothing to remove).
+func newPlan(cfg Config) *plan {
+	cfg = cfg.withDefaults()
+	pl := &plan{prop: NewPropagate(cfg), reg: pass.NewRegistry()}
+	pl.reg.Register(pl.prop, FactResult)
+	if cfg.Complete {
+		pl.fix = pass.NewFixpoint("complete", &dcePass{}, cfg.MaxDCERounds)
+		pl.root = pass.NewPipeline("complete-propagation", pl.fix)
+	} else {
+		pl.root = pass.NewPipeline("propagation", pl.prop)
+	}
+	return pl
+}
+
+// PipelineDescription renders the pass composition a configuration
+// would execute, one line per element (cmd/ipcp -passes).
+func PipelineDescription(cfg Config) []string {
+	pl := newPlan(cfg)
+	return []string{
+		pass.Describe(pl.root),
+		fmt.Sprintf("provider: %s <- %s", FactResult, pl.prop.Name()),
+	}
+}

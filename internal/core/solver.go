@@ -16,7 +16,7 @@ type vals struct {
 // procEnv adapts one procedure's VAL set to sym.Env for jump-function
 // evaluation.
 type procEnv struct {
-	p  *pipeline
+	p  *propagation
 	at *ir.Proc
 }
 
@@ -44,7 +44,7 @@ func (e procEnv) GlobalValue(g *ir.GlobalVar) lattice.Value {
 // This is the "simple worklist iterative scheme" the paper used; the
 // bounded lattice depth guarantees each VAL entry lowers at most twice,
 // so termination is immediate.
-func (p *pipeline) stage3Propagate() {
+func (p *propagation) stage3Propagate() {
 	p.initVals()
 	if p.prog.Main == nil {
 		return
@@ -117,7 +117,7 @@ func (p *pipeline) stage3Propagate() {
 // evalJF evaluates one jump function under the caller's VAL set. A nil
 // jump function is ⊥. The counter is atomic so the tally stays exact
 // even if a future solver evaluates jump functions concurrently.
-func (p *pipeline) evalJF(jf sym.Expr, env sym.Env) lattice.Value {
+func (p *propagation) evalJF(jf sym.Expr, env sym.Env) lattice.Value {
 	p.jfEvals.Add(1)
 	if jf == nil {
 		return lattice.Bottom

@@ -1,0 +1,210 @@
+package pass
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/ir"
+)
+
+// Context is the shared state a pipeline runs over: the current
+// program, lazily built callgraph and mod/ref summaries, the fact
+// cache, and the accumulated pass trace. One Context serves one
+// pipeline run; the lazy caches are additionally safe for concurrent
+// readers (TransformedSource shares a Context across goroutines).
+type Context struct {
+	// Debug makes the runner verify the IR after every non-composite
+	// pass and fail fast naming the pass that corrupted it.
+	Debug bool
+
+	mu    sync.Mutex
+	prog  *ir.Program
+	cg    *callgraph.Graph
+	mods  *modref.Summary
+	facts map[Fact]any
+
+	trace     []Stat
+	reg       *Registry
+	round     int
+	resolving map[Fact]bool
+}
+
+// NewContext wraps a program for pipeline execution.
+func NewContext(prog *ir.Program) *Context {
+	return &Context{
+		prog:      prog,
+		facts:     make(map[Fact]any),
+		resolving: make(map[Fact]bool),
+	}
+}
+
+// Program returns the current program.
+func (ctx *Context) Program() *ir.Program {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	return ctx.prog
+}
+
+// SetProgram replaces the program, dropping the callgraph/modref
+// caches and every fact: a different program identity makes all of
+// them stale. Passes that rebuild the program (DCE, cloning, inlining)
+// call this instead of enumerating what they broke.
+func (ctx *Context) SetProgram(p *ir.Program) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	ctx.prog = p
+	ctx.cg = nil
+	ctx.mods = nil
+	ctx.facts = make(map[Fact]any)
+}
+
+// CallGraph returns the callgraph for the current program, building it
+// on first use. Note the callgraph must be built before SSA
+// construction rewrites call instructions — callers that need both
+// take the callgraph first (the propagate pass does).
+func (ctx *Context) CallGraph() *callgraph.Graph {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.cg == nil {
+		ctx.cg = callgraph.Build(ctx.prog)
+	}
+	return ctx.cg
+}
+
+// ModRef returns the mod/ref summary for the current program, building
+// it (and the callgraph it depends on) on first use.
+func (ctx *Context) ModRef() *modref.Summary {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.mods == nil {
+		if ctx.cg == nil {
+			ctx.cg = callgraph.Build(ctx.prog)
+		}
+		ctx.mods = modref.Compute(ctx.prog, ctx.cg)
+	}
+	return ctx.mods
+}
+
+// Fact returns a cached fact and whether it is present.
+func (ctx *Context) Fact(f Fact) (any, bool) {
+	v, ok := ctx.facts[f]
+	return v, ok
+}
+
+// SetFact publishes a fact into the cache.
+func (ctx *Context) SetFact(f Fact, v any) {
+	ctx.facts[f] = v
+}
+
+// Invalidate drops the named facts (All drops everything).
+func (ctx *Context) Invalidate(facts ...Fact) {
+	for _, f := range facts {
+		if f == All {
+			ctx.facts = make(map[Fact]any)
+			return
+		}
+		delete(ctx.facts, f)
+	}
+}
+
+// Require ensures a fact is present, running its registered provider
+// if it is missing. A missing provider is ErrNoProvider; a provider
+// that transitively requires its own fact is a cycle error.
+func (ctx *Context) Require(f Fact) error {
+	if _, ok := ctx.facts[f]; ok {
+		return nil
+	}
+	prov := ctx.reg.Provider(f)
+	if prov == nil {
+		return fmt.Errorf("fact %q: %w", f, ErrNoProvider)
+	}
+	if ctx.resolving[f] {
+		return fmt.Errorf("fact %q: provider %q requires its own fact (cycle)", f, prov.Name())
+	}
+	ctx.resolving[f] = true
+	defer delete(ctx.resolving, f)
+	if _, err := ctx.Exec(prov); err != nil {
+		return err
+	}
+	if _, ok := ctx.facts[f]; !ok {
+		return fmt.Errorf("fact %q: provider %q ran but did not produce it", f, prov.Name())
+	}
+	return nil
+}
+
+// Exec runs one pass with the full runner protocol: requirement
+// resolution, instrumentation, invalidation, and (in debug mode) IR
+// verification. Composite passes (Pipeline, Fixpoint) orchestrate
+// their members through Exec and are not themselves instrumented
+// per-member semantics aside; Fixpoint appends its own summary Stat.
+func (ctx *Context) Exec(p Pass) (bool, error) {
+	if _, ok := p.(compositePass); ok {
+		return p.Run(ctx)
+	}
+	for _, f := range p.Requires() {
+		if err := ctx.Require(f); err != nil {
+			return false, fmt.Errorf("pass %q: %w", p.Name(), err)
+		}
+	}
+	st := ctx.beginStat(p.Name(), ctx.round)
+	changed, err := p.Run(ctx)
+	if err != nil {
+		return changed, fmt.Errorf("pass %q: %w", p.Name(), err)
+	}
+	st.Changed = changed
+	ctx.endStat(st)
+	if changed {
+		ctx.Invalidate(p.Invalidates()...)
+	}
+	if ctx.Debug {
+		if verr := ir.VerifyProgram(ctx.Program()); verr != nil {
+			return changed, fmt.Errorf("pass %q corrupted the IR: %w", p.Name(), verr)
+		}
+	}
+	return changed, nil
+}
+
+// PassStats returns the accumulated trace in execution order.
+func (ctx *Context) PassStats() []Stat {
+	out := make([]Stat, len(ctx.trace))
+	copy(out, ctx.trace)
+	return out
+}
+
+// beginStat opens a trace entry: before-counters and start time.
+func (ctx *Context) beginStat(name string, round int) *Stat {
+	st := &Stat{Pass: name, Round: round}
+	st.ProcsBefore, st.BlocksBefore, st.InstrsBefore = countIR(ctx.Program())
+	st.start = time.Now()
+	return st
+}
+
+// endStat closes a trace entry — after-counters, wall time — and
+// appends it. Fixpoint summaries close after their member entries, so
+// the trace reads in completion order.
+func (ctx *Context) endStat(st *Stat) {
+	st.Nanos = time.Since(st.start).Nanoseconds()
+	st.start = time.Time{} // only Nanos carries timing; keep Stat DeepEqual-comparable
+	st.Procs, st.Blocks, st.Instrs = countIR(ctx.Program())
+	ctx.trace = append(ctx.trace, *st)
+}
+
+// EnsureSSA builds SSA form for every procedure that is not yet in it,
+// using the Context's mod/ref oracle for call-site definition points.
+// It is the standard prelude for per-procedure passes like SCCP, and
+// reports whether it changed the program (so callers can propagate an
+// honest changed flag).
+func EnsureSSA(ctx *Context) bool {
+	oracle := ctx.ModRef().Oracle()
+	changed := false
+	for _, proc := range ctx.Program().Procs {
+		if proc.EntryValues == nil {
+			proc.BuildSSA(oracle)
+			changed = true
+		}
+	}
+	return changed
+}

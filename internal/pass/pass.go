@@ -1,0 +1,281 @@
+// Package pass implements the unified pass manager every analysis
+// composition in this repository runs on: a Pass interface over a
+// shared Context, a Registry that maps analysis facts to the passes
+// that provide them, a Pipeline runner, and a Fixpoint combinator with
+// bounded rounds.
+//
+// Before this package existed, every iterate-to-fixpoint composition
+// was a bespoke driver: core.Analyze hard-coded its stages, complete
+// propagation hand-rolled its propagate→DCE loop, procedure cloning
+// hand-rolled its clone→reanalyze loop. Padhye & Khedker's value-context
+// framework argues that a uniform analysis-driver abstraction is what
+// makes interprocedural frameworks extensible; this package is that
+// abstraction. A composition is now a declared Pipeline of passes, and
+// the runner supplies uniformly what each driver used to reimplement:
+//
+//   - requirement resolution: a pass declares the facts it Requires,
+//     and the runner executes the registered provider for any fact the
+//     Context does not currently hold;
+//   - invalidation: a pass that reports a change drops the facts it
+//     Invalidates (and replacing the program drops everything);
+//   - instrumentation: every pass execution is timed and its IR delta
+//     (procedures, blocks, instructions before/after) recorded into a
+//     Trace, exposed through core.Stats and ipcp.Report;
+//   - verification: in debug mode the runner calls ir.VerifyProgram
+//     after every pass and fails fast naming the offending pass;
+//   - fixpoint safety: Fixpoint bounds its rounds, and a body that
+//     still reports changes at the cap is an ErrNoFixpoint error (a
+//     misbehaving pass cannot hang a complete-propagation run).
+//
+// Determinism contract: every field of every Stat except the
+// wall-clock Nanos is a pure function of the program and the pass
+// composition, so traces are bit-identical between sequential and
+// parallel runs of the same configuration once Nanos is zeroed. The
+// determinism suite asserts exactly that.
+package pass
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Fact names an analysis artifact a pass can provide, require, or
+// invalidate — "ipcp-result", "sccp", "valnum". Facts are the currency
+// of the requirement-resolution machinery: requiring a fact the Context
+// does not hold runs the registered provider pass first.
+type Fact string
+
+// All is the wildcard fact: a pass that Invalidates All drops every
+// cached fact when it reports a change. Transforms that mutate the
+// program in place use it; transforms that replace the program get the
+// same effect from Context.SetProgram.
+const All Fact = "*"
+
+// Pass is one unit of analysis or transformation over a Context's
+// program.
+type Pass interface {
+	// Name identifies the pass in traces and error messages.
+	Name() string
+
+	// Requires lists the facts that must be present in the Context
+	// before Run; the runner executes registered providers for any
+	// that are missing.
+	Requires() []Fact
+
+	// Invalidates lists the facts destroyed when Run reports a change
+	// (All for everything). Facts a pass leaves intact survive into
+	// the next pass — that is what makes caches like the
+	// callgraph/modref pair reusable across a pipeline.
+	Invalidates() []Fact
+
+	// Run executes the pass. changed reports whether the program was
+	// transformed (analyses that only publish facts return false; a
+	// pass that builds SSA in place has changed the program and says
+	// so). A non-nil error aborts the whole pipeline.
+	Run(ctx *Context) (changed bool, err error)
+}
+
+// ErrNoFixpoint reports a Fixpoint whose body still claimed changes
+// when the round cap was reached.
+var ErrNoFixpoint = errors.New("fixpoint not reached")
+
+// ErrNoProvider reports a required fact with no registered provider.
+var ErrNoProvider = errors.New("no provider registered")
+
+// Registry maps facts to the passes that provide them. A registry is
+// per-pipeline (passes carry per-run state), not global.
+type Registry struct {
+	providers map[Fact]Pass
+	order     []Pass
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{providers: make(map[Fact]Pass)}
+}
+
+// Register adds a pass, optionally as the provider of the given facts.
+func (r *Registry) Register(p Pass, provides ...Fact) {
+	r.order = append(r.order, p)
+	for _, f := range provides {
+		r.providers[f] = p
+	}
+}
+
+// Provider returns the registered provider for a fact (nil if none).
+func (r *Registry) Provider(f Fact) Pass {
+	if r == nil {
+		return nil
+	}
+	return r.providers[f]
+}
+
+// Passes returns the registered passes in registration order.
+func (r *Registry) Passes() []Pass {
+	if r == nil {
+		return nil
+	}
+	return r.order
+}
+
+// Run executes root over ctx with reg supplying fact providers. It is
+// the entry point every driver uses:
+//
+//	ctx := pass.NewContext(irp)
+//	err := pass.Run(ctx, reg, pass.NewPipeline("complete", fixpoint))
+func Run(ctx *Context, reg *Registry, root Pass) error {
+	ctx.reg = reg
+	_, err := ctx.Exec(root)
+	return err
+}
+
+// Pipeline runs a fixed sequence of passes. It implements Pass, so
+// pipelines nest and serve as Fixpoint bodies. Its changed result is
+// the OR of its members'.
+type Pipeline struct {
+	name   string
+	passes []Pass
+}
+
+// NewPipeline builds a named pipeline.
+func NewPipeline(name string, passes ...Pass) *Pipeline {
+	return &Pipeline{name: name, passes: passes}
+}
+
+func (pl *Pipeline) Name() string        { return pl.name }
+func (pl *Pipeline) Requires() []Fact    { return nil }
+func (pl *Pipeline) Invalidates() []Fact { return nil }
+func (pl *Pipeline) composite()          {}
+func (pl *Pipeline) Passes() []Pass      { return pl.passes }
+
+// Run executes the member passes in order, stopping at the first
+// error.
+func (pl *Pipeline) Run(ctx *Context) (bool, error) {
+	changed := false
+	for _, p := range pl.passes {
+		ch, err := ctx.Exec(p)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+	}
+	return changed, nil
+}
+
+// Fixpoint repeats a body pass until it reports no change, bounded by
+// a round cap. A body still reporting changes at the cap either errors
+// (the default: a pass claiming changed=true forever is a bug and must
+// not hang the driver) or stops silently (budgeted mode, for
+// transformations like procedure cloning where the cap is a quality
+// budget rather than a convergence bound).
+type Fixpoint struct {
+	name      string
+	body      Pass
+	maxRounds int
+	errOnCap  bool
+	rounds    int
+}
+
+// DefaultMaxRounds bounds a Fixpoint whose constructor got a
+// non-positive cap.
+const DefaultMaxRounds = 10
+
+// NewFixpoint builds a fixpoint that errors with ErrNoFixpoint if the
+// body still reports changes after maxRounds rounds (<= 0 means
+// DefaultMaxRounds).
+func NewFixpoint(name string, body Pass, maxRounds int) *Fixpoint {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	return &Fixpoint{name: name, body: body, maxRounds: maxRounds, errOnCap: true}
+}
+
+// NewBudgetedFixpoint builds a fixpoint that stops silently at the
+// round cap: the cap is a budget, not a convergence guarantee.
+func NewBudgetedFixpoint(name string, body Pass, maxRounds int) *Fixpoint {
+	fp := NewFixpoint(name, body, maxRounds)
+	fp.errOnCap = false
+	return fp
+}
+
+func (f *Fixpoint) Name() string        { return f.name }
+func (f *Fixpoint) Requires() []Fact    { return nil }
+func (f *Fixpoint) Invalidates() []Fact { return nil }
+func (f *Fixpoint) composite()          {}
+func (f *Fixpoint) Body() Pass          { return f.body }
+func (f *Fixpoint) MaxRounds() int      { return f.maxRounds }
+
+// Rounds reports how many rounds of the last Run changed the program —
+// the number the paper's "DCE rounds" column counts.
+func (f *Fixpoint) Rounds() int { return f.rounds }
+
+// Run iterates the body. Round numbering in the trace is 1-based; a
+// round whose body reports no change ends the iteration (and is not
+// counted in Rounds).
+func (f *Fixpoint) Run(ctx *Context) (bool, error) {
+	f.rounds = 0
+	changedAny := false
+	outer := ctx.round
+	defer func() { ctx.round = outer }()
+
+	st := ctx.beginStat(f.name, outer)
+	st.Fixpoint = true
+	converged := false
+	for round := 1; round <= f.maxRounds; round++ {
+		ctx.round = round
+		changed, err := ctx.Exec(f.body)
+		if err != nil {
+			return changedAny, err
+		}
+		if !changed {
+			converged = true
+			break
+		}
+		changedAny = true
+		f.rounds++
+	}
+	ctx.round = outer
+	st.Rounds = f.rounds
+	st.Changed = changedAny
+	ctx.endStat(st)
+	if !converged && f.errOnCap {
+		return changedAny, fmt.Errorf("fixpoint %q: pass %q still reports changes after %d rounds: %w",
+			f.name, f.body.Name(), f.maxRounds, ErrNoFixpoint)
+	}
+	return changedAny, nil
+}
+
+// composite marks passes that orchestrate other passes; the runner
+// skips per-pass instrumentation and debug verification for them
+// (their members get both).
+type compositePass interface {
+	Pass
+	composite()
+}
+
+// Describe renders a pass composition as one line: pipelines show
+// their members, fixpoints their cap and body, leaf passes their fact
+// requirements.
+func Describe(p Pass) string {
+	switch p := p.(type) {
+	case *Pipeline:
+		names := make([]string, len(p.passes))
+		for i, m := range p.passes {
+			names[i] = Describe(m)
+		}
+		return fmt.Sprintf("%s(%s)", p.name, strings.Join(names, " -> "))
+	case *Fixpoint:
+		return fmt.Sprintf("fixpoint %s[<=%d rounds]{%s}", p.name, p.maxRounds, Describe(p.body))
+	default:
+		s := p.Name()
+		if req := p.Requires(); len(req) > 0 {
+			parts := make([]string, len(req))
+			for i, f := range req {
+				parts[i] = string(f)
+			}
+			s += fmt.Sprintf(" [requires %s]", strings.Join(parts, ", "))
+		}
+		return s
+	}
+}

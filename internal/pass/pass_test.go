@@ -1,0 +1,341 @@
+package pass
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/ir/irbuild"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/mf/sema"
+)
+
+// fakePass is a configurable leaf pass for exercising the runner.
+type fakePass struct {
+	name        string
+	requires    []Fact
+	invalidates []Fact
+	run         func(ctx *Context) (bool, error)
+}
+
+func (p *fakePass) Name() string        { return p.name }
+func (p *fakePass) Requires() []Fact    { return p.requires }
+func (p *fakePass) Invalidates() []Fact { return p.invalidates }
+func (p *fakePass) Run(ctx *Context) (bool, error) {
+	if p.run == nil {
+		return false, nil
+	}
+	return p.run(ctx)
+}
+
+func buildIR(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return irbuild.Build(sp)
+}
+
+const twoProcSrc = `
+PROGRAM MAIN
+  INTEGER I
+  I = 1
+  CALL SHOW(I)
+END
+
+SUBROUTINE SHOW(N)
+  INTEGER N
+  WRITE(*,*) N
+END
+`
+
+func TestFixpointConverges(t *testing.T) {
+	runs := 0
+	body := &fakePass{name: "body", run: func(*Context) (bool, error) {
+		runs++
+		return runs <= 2, nil // rounds 1 and 2 change, round 3 converges
+	}}
+	fix := NewFixpoint("fx", body, 0)
+	ctx := NewContext(nil)
+	if err := Run(ctx, nil, fix); err != nil {
+		t.Fatalf("converging fixpoint errored: %v", err)
+	}
+	if fix.Rounds() != 2 {
+		t.Fatalf("Rounds() = %d, want 2", fix.Rounds())
+	}
+	if fix.MaxRounds() != DefaultMaxRounds {
+		t.Fatalf("MaxRounds() = %d, want DefaultMaxRounds", fix.MaxRounds())
+	}
+
+	trace := ctx.PassStats()
+	if len(trace) != 4 {
+		t.Fatalf("trace has %d entries, want 3 body runs + 1 summary: %+v", len(trace), trace)
+	}
+	for i := 0; i < 3; i++ {
+		st := trace[i]
+		if st.Pass != "body" || st.Round != i+1 {
+			t.Fatalf("trace[%d] = %+v, want body round %d", i, st, i+1)
+		}
+		if wantChanged := i < 2; st.Changed != wantChanged {
+			t.Fatalf("trace[%d].Changed = %v, want %v", i, st.Changed, wantChanged)
+		}
+	}
+	sum := trace[3]
+	if !sum.Fixpoint || sum.Pass != "fx" || sum.Rounds != 2 || !sum.Changed {
+		t.Fatalf("fixpoint summary = %+v, want Fixpoint fx with 2 changed rounds", sum)
+	}
+	if !sum.start.IsZero() {
+		t.Fatal("Stat retained a live start time; traces must be DeepEqual-comparable")
+	}
+}
+
+func TestFixpointCapError(t *testing.T) {
+	body := &fakePass{name: "always", run: func(*Context) (bool, error) { return true, nil }}
+	fix := NewFixpoint("cap", body, 3)
+	err := Run(NewContext(nil), nil, fix)
+	if !errors.Is(err, ErrNoFixpoint) {
+		t.Fatalf("err = %v, want ErrNoFixpoint", err)
+	}
+	if !strings.Contains(err.Error(), `"always"`) || !strings.Contains(err.Error(), "3 rounds") {
+		t.Fatalf("error does not name the misbehaving pass and cap: %v", err)
+	}
+	if fix.Rounds() != 3 {
+		t.Fatalf("Rounds() = %d, want 3 (every round changed)", fix.Rounds())
+	}
+}
+
+func TestBudgetedFixpointStopsSilently(t *testing.T) {
+	body := &fakePass{name: "always", run: func(*Context) (bool, error) { return true, nil }}
+	fix := NewBudgetedFixpoint("budget", body, 3)
+	if err := Run(NewContext(nil), nil, fix); err != nil {
+		t.Fatalf("budgeted fixpoint errored at its cap: %v", err)
+	}
+	if fix.Rounds() != 3 {
+		t.Fatalf("Rounds() = %d, want 3", fix.Rounds())
+	}
+}
+
+func TestRequireRunsProviderOnce(t *testing.T) {
+	providerRuns := 0
+	provider := &fakePass{name: "provider", run: func(ctx *Context) (bool, error) {
+		providerRuns++
+		ctx.SetFact("f", providerRuns)
+		return false, nil
+	}}
+	sawFact := 0
+	consumer := func(name string) *fakePass {
+		return &fakePass{name: name, requires: []Fact{"f"}, run: func(ctx *Context) (bool, error) {
+			if v, ok := ctx.Fact("f"); ok {
+				sawFact = v.(int)
+			}
+			return false, nil
+		}}
+	}
+	reg := NewRegistry()
+	reg.Register(provider, "f")
+	ctx := NewContext(nil)
+	root := NewPipeline("p", consumer("first"), consumer("second"))
+	if err := Run(ctx, reg, root); err != nil {
+		t.Fatal(err)
+	}
+	if providerRuns != 1 {
+		t.Fatalf("provider ran %d times, want 1 (fact cached between consumers)", providerRuns)
+	}
+	if sawFact != 1 {
+		t.Fatalf("consumer saw fact %d, want 1", sawFact)
+	}
+	names := make([]string, 0, 3)
+	for _, st := range ctx.PassStats() {
+		names = append(names, st.Pass)
+	}
+	if got := strings.Join(names, ","); got != "provider,first,second" {
+		t.Fatalf("trace order %q, want provider,first,second", got)
+	}
+}
+
+func TestRequireMissingProvider(t *testing.T) {
+	consumer := &fakePass{name: "needs-ghost", requires: []Fact{"ghost"}}
+	err := Run(NewContext(nil), NewRegistry(), NewPipeline("p", consumer))
+	if !errors.Is(err, ErrNoProvider) {
+		t.Fatalf("err = %v, want ErrNoProvider", err)
+	}
+	if !strings.Contains(err.Error(), `"needs-ghost"`) {
+		t.Fatalf("error does not name the requiring pass: %v", err)
+	}
+}
+
+func TestRequireProviderCycle(t *testing.T) {
+	provider := &fakePass{name: "selfish", requires: []Fact{"f"}}
+	reg := NewRegistry()
+	reg.Register(provider, "f")
+	consumer := &fakePass{name: "consumer", requires: []Fact{"f"}}
+	err := Run(NewContext(nil), reg, NewPipeline("p", consumer))
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want a cycle error", err)
+	}
+}
+
+func TestRequireProviderMustProduce(t *testing.T) {
+	provider := &fakePass{name: "lazy"} // registered for "f" but never publishes it
+	reg := NewRegistry()
+	reg.Register(provider, "f")
+	consumer := &fakePass{name: "consumer", requires: []Fact{"f"}}
+	err := Run(NewContext(nil), reg, NewPipeline("p", consumer))
+	if err == nil || !strings.Contains(err.Error(), "did not produce") {
+		t.Fatalf("err = %v, want a did-not-produce error", err)
+	}
+}
+
+func TestInvalidationOnChange(t *testing.T) {
+	ctx := NewContext(nil)
+	ctx.SetFact("a", 1)
+	ctx.SetFact("b", 2)
+
+	// A pass that reports no change keeps its invalidation set intact.
+	noop := &fakePass{name: "noop", invalidates: []Fact{"a"}}
+	if err := Run(ctx, nil, NewPipeline("p", noop)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Fact("a"); !ok {
+		t.Fatal("unchanged pass invalidated its fact")
+	}
+
+	// A changing pass drops exactly what it declares.
+	mut := &fakePass{name: "mut", invalidates: []Fact{"a"},
+		run: func(*Context) (bool, error) { return true, nil }}
+	if err := Run(ctx, nil, NewPipeline("p", mut)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Fact("a"); ok {
+		t.Fatal("fact a survived an invalidating change")
+	}
+	if _, ok := ctx.Fact("b"); !ok {
+		t.Fatal("fact b was dropped without being declared")
+	}
+
+	// The wildcard drops everything.
+	ctx.SetFact("a", 1)
+	wipe := &fakePass{name: "wipe", invalidates: []Fact{All},
+		run: func(*Context) (bool, error) { return true, nil }}
+	if err := Run(ctx, nil, NewPipeline("p", wipe)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Fact("a"); ok {
+		t.Fatal("fact a survived Invalidates(All)")
+	}
+	if _, ok := ctx.Fact("b"); ok {
+		t.Fatal("fact b survived Invalidates(All)")
+	}
+}
+
+func TestSetProgramDropsCaches(t *testing.T) {
+	prog := buildIR(t, twoProcSrc)
+	ctx := NewContext(prog)
+	g1 := ctx.CallGraph()
+	ctx.SetFact("f", 1)
+
+	ctx.SetProgram(prog) // same pointer: identity change is what matters
+	if _, ok := ctx.Fact("f"); ok {
+		t.Fatal("fact survived SetProgram")
+	}
+	if g2 := ctx.CallGraph(); g2 == g1 {
+		t.Fatal("callgraph cache survived SetProgram")
+	}
+}
+
+// TestDebugCatchesCorruptingPass is the seeded-fault proof of the debug
+// verifier: a pass that breaks an IR invariant must abort the pipeline
+// with an error naming that pass.
+func TestDebugCatchesCorruptingPass(t *testing.T) {
+	corrupt := &fakePass{name: "corrupt", run: func(ctx *Context) (bool, error) {
+		ctx.Program().Procs[0].Entry = nil
+		return true, nil
+	}}
+
+	// Without debug mode the corruption goes unnoticed by the runner.
+	if err := Run(NewContext(buildIR(t, twoProcSrc)), nil, NewPipeline("p", corrupt)); err != nil {
+		t.Fatalf("non-debug run errored: %v", err)
+	}
+
+	ctx := NewContext(buildIR(t, twoProcSrc))
+	ctx.Debug = true
+	err := Run(ctx, nil, NewPipeline("p", corrupt))
+	if err == nil {
+		t.Fatal("debug run did not catch the corrupting pass")
+	}
+	if !strings.Contains(err.Error(), `pass "corrupt" corrupted the IR`) {
+		t.Fatalf("error does not name the corrupting pass: %v", err)
+	}
+
+	// And a well-behaved pass sails through with verification on.
+	ctx = NewContext(buildIR(t, twoProcSrc))
+	ctx.Debug = true
+	honest := &fakePass{name: "honest", run: func(*Context) (bool, error) { return true, nil }}
+	if err := Run(ctx, nil, NewPipeline("p", honest)); err != nil {
+		t.Fatalf("debug verification rejected a well-formed program: %v", err)
+	}
+}
+
+func TestEnsureSSA(t *testing.T) {
+	ctx := NewContext(buildIR(t, twoProcSrc))
+	if !EnsureSSA(ctx) {
+		t.Fatal("first EnsureSSA reported no change on a pre-SSA program")
+	}
+	for _, proc := range ctx.Program().Procs {
+		if proc.EntryValues == nil {
+			t.Fatalf("%s not in SSA form after EnsureSSA", proc.Name)
+		}
+	}
+	if EnsureSSA(ctx) {
+		t.Fatal("second EnsureSSA claimed a change on an already-SSA program")
+	}
+	if err := ir.VerifyProgram(ctx.Program()); err != nil {
+		t.Fatalf("SSA program fails verification: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	fix := NewFixpoint("loop", &fakePass{name: "dce", requires: []Fact{"res"}}, 4)
+	root := NewPipeline("all", &fakePass{name: "prop"}, fix)
+	want := "all(prop -> fixpoint loop[<=4 rounds]{dce [requires res]})"
+	if got := Describe(root); got != want {
+		t.Fatalf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	stats := []Stat{
+		{Pass: "propagate", Round: 1, Changed: true, InstrsBefore: 10, Instrs: 14, BlocksBefore: 3, Blocks: 3, Nanos: 1500},
+		{Pass: "dce", Round: 1, Changed: true, InstrsBefore: 14, Instrs: 9, BlocksBefore: 3, Blocks: 2, Nanos: 900},
+		{Pass: "propagate", Round: 2, InstrsBefore: 9, Instrs: 9, BlocksBefore: 2, Blocks: 2, Nanos: 1100},
+		{Pass: "complete", Fixpoint: true, Rounds: 1, Changed: true, InstrsBefore: 10, Instrs: 9, BlocksBefore: 3, Blocks: 2, Nanos: 4000},
+	}
+	out := FormatStats(stats)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, three aggregated rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "pass") || !strings.Contains(lines[0], "Δinstrs") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	var propRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "propagate") {
+			propRow = l
+		}
+	}
+	if propRow == "" {
+		t.Fatalf("no propagate row:\n%s", out)
+	}
+	fields := strings.Fields(propRow)
+	// pass runs rounds changed Δinstrs Δblocks time
+	if fields[1] != "2" || fields[3] != "1" || fields[4] != "+4" {
+		t.Fatalf("propagate row %q: want 2 runs, 1 changed, +4 instrs", propRow)
+	}
+}

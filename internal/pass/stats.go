@@ -1,0 +1,145 @@
+package pass
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipcp/internal/ir"
+)
+
+// Stat is one trace entry: a single execution of a leaf pass, or the
+// summary line of a Fixpoint. Every field except Nanos is a pure
+// function of the program and the pass composition — the determinism
+// suite compares whole traces with Nanos normalized to zero.
+type Stat struct {
+	// Pass is the pass (or fixpoint) name.
+	Pass string
+
+	// Round is the 1-based fixpoint round this execution ran in, 0 for
+	// executions outside any fixpoint (a Fixpoint summary records the
+	// round of its enclosing fixpoint, if any).
+	Round int
+
+	// Changed reports whether the execution transformed the program.
+	Changed bool
+
+	// Fixpoint marks a summary entry for a whole Fixpoint run; Rounds
+	// is then the number of rounds whose body reported a change.
+	Fixpoint bool
+	Rounds   int
+
+	// IR size before and after the execution.
+	ProcsBefore, BlocksBefore, InstrsBefore int
+	Procs, Blocks, Instrs                   int
+
+	// Nanos is wall-clock time — the one nondeterministic field,
+	// excluded from determinism comparisons.
+	Nanos int64
+
+	start time.Time
+}
+
+// countIR sizes a program for trace deltas.
+func countIR(p *ir.Program) (procs, blocks, instrs int) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	procs = len(p.Procs)
+	for _, proc := range p.Procs {
+		blocks += len(proc.Blocks)
+		for _, b := range proc.Blocks {
+			instrs += len(b.Instrs)
+		}
+	}
+	return procs, blocks, instrs
+}
+
+// FormatStats renders a trace as an aligned per-pass table: one row
+// per pass name in first-execution order, aggregating runs, changed
+// rounds, IR deltas, and wall time.
+func FormatStats(stats []Stat) string {
+	type agg struct {
+		name    string
+		runs    int
+		rounds  int
+		changed int
+		dInstrs int
+		dBlocks int
+		nanos   int64
+	}
+	var order []*agg
+	byName := make(map[string]*agg)
+	for _, st := range stats {
+		a := byName[st.Pass]
+		if a == nil {
+			a = &agg{name: st.Pass}
+			byName[st.Pass] = a
+			order = append(order, a)
+		}
+		a.runs++
+		a.rounds += st.Rounds
+		if st.Changed {
+			a.changed++
+		}
+		// A fixpoint's summary row spans its members' rows, so columns
+		// are per-row facts, not a summable breakdown.
+		a.dInstrs += st.Instrs - st.InstrsBefore
+		a.dBlocks += st.Blocks - st.BlocksBefore
+		a.nanos += st.Nanos
+	}
+
+	headers := []string{"pass", "runs", "rounds", "changed", "Δinstrs", "Δblocks", "time"}
+	rows := make([][]string, 0, len(order))
+	for _, a := range order {
+		rows = append(rows, []string{
+			a.name,
+			fmt.Sprintf("%d", a.runs),
+			fmt.Sprintf("%d", a.rounds),
+			fmt.Sprintf("%d", a.changed),
+			fmt.Sprintf("%+d", a.dInstrs),
+			fmt.Sprintf("%+d", a.dBlocks),
+			time.Duration(a.nanos).Round(time.Microsecond).String(),
+		})
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := len([]rune(cell)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len([]rune(cell))
+			if i == 0 {
+				sb.WriteString(cell)
+				sb.WriteString(strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(headers)
+	total := len(headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}

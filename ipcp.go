@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"ipcp/internal/core"
 	"ipcp/internal/core/jump"
@@ -39,6 +40,7 @@ import (
 	"ipcp/internal/mf/ast"
 	"ipcp/internal/mf/parser"
 	"ipcp/internal/mf/sema"
+	"ipcp/internal/pass"
 )
 
 // JumpFunction selects a forward jump-function flavor (§3.1 of the
@@ -119,6 +121,11 @@ type Config struct {
 	// sequential reference path. The Report is identical for every
 	// setting — see DESIGN.md, "Concurrency model".
 	Workers int
+
+	// Debug makes the pass runner verify the IR after every pass and
+	// fail fast naming the pass that corrupted it. Analysis results are
+	// unaffected; only the verification cost is added.
+	Debug bool
 }
 
 func (c Config) internal() core.Config {
@@ -129,7 +136,19 @@ func (c Config) internal() core.Config {
 		Complete:         c.Complete,
 		DependenceSolver: c.DependenceSolver,
 		Workers:          c.Workers,
+		Debug:            c.Debug,
 	}
+}
+
+// PassStat is one entry of a Report's pass trace — a single execution
+// of a pass, or the summary line of a fixpoint. Every field except the
+// wall-clock Nanos is deterministic.
+type PassStat = pass.Stat
+
+// DescribePipeline renders the pass composition a configuration would
+// execute, one line per element, without running anything.
+func DescribePipeline(cfg Config) []string {
+	return core.PipelineDescription(cfg.internal())
 }
 
 // Program is a parsed, semantically analyzed MiniFortran program, ready
@@ -141,6 +160,21 @@ func (c Config) internal() core.Config {
 // table generator runs one goroutine per benchmark program).
 type Program struct {
 	sp *sema.Program
+
+	// xformCtx lazily caches a pass Context over one lowering of the
+	// program — TransformedSource reuses its callgraph/modref instead
+	// of recomputing them per call. The Context's lazy getters are
+	// mutex-guarded, so concurrent TransformedSource calls are safe.
+	xformOnce sync.Once
+	xformCtx  *pass.Context
+}
+
+// transformContext returns the Program's cached transformation Context.
+func (p *Program) transformContext() *pass.Context {
+	p.xformOnce.Do(func() {
+		p.xformCtx = pass.NewContext(irbuild.Build(p.sp))
+	})
+	return p.xformCtx
 }
 
 // Load parses and semantically analyzes MiniFortran source text.
@@ -233,7 +267,17 @@ type Report struct {
 	// by syntactic form — the data behind §3.1.5's observation that
 	// complex polynomial jump functions are rare in practice.
 	JumpFunctionShape JumpFunctionShape
+
+	// Passes is the pass-manager trace of the run: one entry per pass
+	// execution plus one summary per fixpoint, in completion order.
+	// Everything but the Nanos fields is deterministic (the determinism
+	// suite compares whole traces with Nanos normalized).
+	Passes []PassStat
 }
+
+// PassTrace renders the pass trace as an aligned per-pass table (name,
+// runs, rounds, changed, IR delta, wall time).
+func (r *Report) PassTrace() string { return pass.FormatStats(r.Passes) }
 
 // JumpFunctionShape classifies constructed forward jump functions.
 type JumpFunctionShape struct {
@@ -296,6 +340,7 @@ func buildReport(cfg Config, res *core.Result) *Report {
 			Polynomial:  res.JFShape.Polynomial,
 			SupportSum:  res.JFShape.SupportSum,
 		},
+		Passes: res.Stats.Passes,
 	}
 	for name, pr := range res.Procs {
 		prep := &ProcedureReport{

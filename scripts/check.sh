@@ -2,15 +2,18 @@
 # check.sh — the repo's CI gate.
 #
 # Runs, in order:
-#   1. go vet          static checks
-#   2. go build        every package compiles
-#   3. go test -race   the full test suite under the race detector,
+#   1. gofmt -l        formatting gate (fails listing unformatted files)
+#   2. go vet          static checks
+#   3. go build        every package compiles
+#   4. go test -race   the full test suite under the race detector,
 #                      which turns the concurrency regression tests and
 #                      the determinism differential suite into a
 #                      shared-state audit of the parallel pipeline
-#   4. the determinism suite a second time (-count=2 disables test
+#   5. the determinism suite a second time (-count=2 disables test
 #      caching), so schedule-dependent flakiness has two chances to
 #      show up per CI run
+#   6. a CLI smoke run of the pass-manager instrumentation
+#      (-trace-passes on a complete-propagation analysis)
 #
 # Usage: scripts/check.sh [-short]
 #   -short trims the random-program sweeps (200 -> 40 seeds) for a
@@ -25,6 +28,14 @@ if [ "${1:-}" = "-short" ]; then
     short="-short"
 fi
 
+echo "==> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -36,5 +47,9 @@ go test -race $short ./...
 
 echo "==> go test -race -run 'TestDeterminism' -count=2 $short ."
 go test -race -run 'TestDeterminism' -count=2 $short .
+
+echo "==> pass-trace smoke (ipcp -suite ocean -complete -trace-passes)"
+go run ./cmd/ipcp -suite ocean -complete -trace-passes | grep -q '^propagate' \
+    || { echo "pass trace missing propagate row" >&2; exit 1; }
 
 echo "OK"

@@ -3,9 +3,6 @@ package ipcp
 import (
 	"fmt"
 
-	"ipcp/internal/analysis/callgraph"
-	"ipcp/internal/analysis/modref"
-	"ipcp/internal/ir/irbuild"
 	"ipcp/internal/mf/ast"
 	"ipcp/internal/mf/parser"
 	"ipcp/internal/mf/sema"
@@ -26,31 +23,42 @@ import (
 // Report.TotalSubstituted, which works at the IR level, also counts the
 // references before the reassignment.)
 //
+// The mod/ref facts come from the Program's cached pass Context — the
+// source is reparsed only to obtain a private AST copy to mutate, never
+// reanalyzed. Name-based matching is sound because a MiniFortran unit
+// has a single flat namespace: within one unit, a bare name denotes one
+// symbol, and array symbols never enter the substitution map.
+//
 // It returns the transformed source and the number of references
 // replaced.
 func (p *Program) TransformedSource(rep *Report) (string, int, error) {
-	// Work on a private copy of the AST: reparse our own rendering.
+	// Private AST copy to rewrite: reparse our own rendering (parse
+	// only — no semantic analysis, no IR lowering).
 	file, err := parser.Parse(ast.Format(p.sp.File))
 	if err != nil {
 		return "", 0, fmt.Errorf("ipcp: internal reparse failed: %w", err)
 	}
-	sp, err := sema.Analyze(file)
-	if err != nil {
-		return "", 0, fmt.Errorf("ipcp: internal reanalysis failed: %w", err)
+	byName := make(map[string]*ast.Unit, len(file.Units))
+	for _, u := range file.Units {
+		byName[u.Name] = u
 	}
-	irp := irbuild.Build(sp)
-	mods := modref.Compute(irp, callgraph.Build(irp))
+
+	ctx := p.transformContext()
+	irp := ctx.Program()
+	mods := ctx.ModRef()
 
 	total := 0
-	for _, u := range sp.Units {
+	for _, u := range p.sp.Units {
 		pr := rep.Procedure(u.Name)
 		if pr == nil || len(pr.Constants) == 0 {
 			continue
 		}
 		proc := irp.ProcByName[u.Name]
 
-		// Resolve each substitutable constant to this unit's symbol.
-		values := make(map[*sema.Symbol]int64)
+		// Resolve each substitutable constant to the name it is read
+		// under inside this unit, using the original (already analyzed)
+		// symbol tables.
+		values := make(map[string]int64)
 		for _, c := range pr.Constants {
 			switch {
 			case !c.Global:
@@ -61,7 +69,7 @@ func (p *Program) TransformedSource(rep *Report) (string, int, error) {
 				if mods.ModFormal(proc, s.ParamIndex) {
 					continue // reassigned somewhere: unsafe to substitute all refs
 				}
-				values[s] = c.Value
+				values[s.Name] = c.Value
 			default:
 				// Globals are named BLOCK.NAME canonically; find this
 				// unit's view of that global.
@@ -69,7 +77,7 @@ func (p *Program) TransformedSource(rep *Report) (string, int, error) {
 					if s.Global != nil && s.Global.String() == c.Name && !s.IsArray() {
 						g := irp.Globals[s.Global.ID]
 						if !mods.ModGlobal(proc, g) {
-							values[s] = c.Value
+							values[s.Name] = c.Value
 						}
 						break
 					}
@@ -79,14 +87,17 @@ func (p *Program) TransformedSource(rep *Report) (string, int, error) {
 		if len(values) == 0 {
 			continue
 		}
+		au := byName[u.Name]
+		if au == nil {
+			continue
+		}
 
-		ast.RewriteExprs(u.Unit, func(e ast.Expr) ast.Expr {
+		ast.RewriteExprs(au, func(e ast.Expr) ast.Expr {
 			ref, ok := e.(*ast.VarRef)
 			if !ok || len(ref.Indexes) != 0 {
 				return e
 			}
-			s := sp.RefSym[ref]
-			v, found := values[s]
+			v, found := values[ref.Name]
 			if !found {
 				return e
 			}
