@@ -17,15 +17,25 @@
 //	-constants  list every CONSTANTS(p) entry
 //	-stats      print program characteristics (Table 1 row)
 //	-j N        analysis worker count (0 = one per CPU, 1 = sequential)
+//
+// The program database (incremental re-analysis):
+//
+//	-cache-dir DIR   persist summaries and a per-config snapshot under
+//	                 DIR; a second run over an edited program re-analyzes
+//	                 only the procedures the edit invalidated
+//	-baseline old.f  analyze old.f first to warm the cache, then analyze
+//	                 the input incrementally against it
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ipcp"
+	"ipcp/internal/cli"
 	"ipcp/internal/suite"
 )
 
@@ -50,6 +60,8 @@ func main() {
 	suiteName := flag.String("suite", "", "analyze a generated benchmark program instead of a file")
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
+	cacheDir := flag.String("cache-dir", "", "persist summaries and a snapshot under this directory and re-analyze incrementally")
+	baseline := flag.String("baseline", "", "warm the cache from this source file, then analyze the input incrementally")
 	passes := flag.Bool("passes", false, "print the pass pipeline the configuration would run, then exit")
 	tracePasses := flag.Bool("trace-passes", false, "print the per-pass execution table after analysis")
 	debug := flag.Bool("debug", false, "verify the IR between passes and fail fast naming a corrupting pass")
@@ -74,10 +86,9 @@ func main() {
 		return
 	}
 
-	prog, name, err := load(*suiteName, *scale, flag.Args())
+	prog, name, err := cli.Load(*suiteName, *scale, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipcp:", err)
-		os.Exit(1)
+		cli.Fatal("ipcp", err)
 	}
 
 	if *stats {
@@ -122,14 +133,23 @@ func main() {
 		}
 		return
 	}
-	rep := prog.Analyze(ipcp.Config{
+	cfg := ipcp.Config{
 		Jump:                j,
 		ReturnJumpFunctions: !*noRet,
 		MOD:                 !*noMod,
 		Complete:            *complete,
 		Workers:             *workers,
 		Debug:               *debug,
-	})
+	}
+	var (
+		rep   *ipcp.Report
+		cache *ipcp.SummaryCache
+	)
+	if *cacheDir != "" || *baseline != "" {
+		rep, cache = analyzeIncremental(prog, cfg, *cacheDir, *baseline)
+	} else {
+		rep = prog.Analyze(cfg)
+	}
 	fmt.Printf("%s: %s jump functions", name, j)
 	if *noRet {
 		fmt.Print(", no return JFs")
@@ -145,16 +165,22 @@ func main() {
 	fmt.Printf("  references substituted:    %d\n", rep.TotalSubstituted)
 	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
 		rep.SolverPasses, rep.JFEvaluations)
+	if st := rep.Incremental; st != nil {
+		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate)\n",
+			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate())
+	}
 
 	if *tracePasses {
 		fmt.Print(rep.PassTrace())
+		if cache != nil {
+			fmt.Println(cache.Stats())
+		}
 	}
 
 	if *emit {
 		src, n, err := prog.TransformedSource(rep)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipcp:", err)
-			os.Exit(1)
+			cli.Fatal("ipcp", err)
 		}
 		fmt.Printf("! transformed source: %d references substituted\n%s", n, src)
 	}
@@ -184,21 +210,48 @@ func main() {
 	}
 }
 
-func load(suiteName string, scale int, args []string) (*ipcp.Program, string, error) {
-	if suiteName != "" {
-		p := suite.Generate(suiteName, scale)
-		if p == nil {
-			return nil, "", fmt.Errorf("unknown suite program %q (have: %s)",
-				suiteName, strings.Join(suite.Names(), ", "))
+// analyzeIncremental runs the program-database path: open the summary
+// cache (on disk under cacheDir, else in memory), seed it from the
+// previous on-disk snapshot and/or an in-process baseline analysis,
+// analyze the program incrementally, and persist the new snapshot. The
+// snapshot file is named by the configuration's cache key, so runs
+// under different flags never cross-contaminate.
+func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, baseline string) (*ipcp.Report, *ipcp.SummaryCache) {
+	var (
+		cache *ipcp.SummaryCache
+		err   error
+	)
+	if cacheDir != "" {
+		if cache, err = ipcp.NewDiskCache(cacheDir); err != nil {
+			cli.Fatal("ipcp", err)
 		}
-		prog, err := ipcp.Load(p.Source)
-		return prog, suiteName, err
+	} else {
+		cache = ipcp.NewMemoryCache()
 	}
-	if len(args) != 1 {
-		return nil, "", fmt.Errorf("usage: ipcp [flags] file.f (or -suite name)")
+
+	var prev *ipcp.Snapshot
+	snapPath := ""
+	if cacheDir != "" {
+		snapPath = filepath.Join(cacheDir, "snapshot-"+ipcp.ConfigCacheKey(cfg)[:16]+".snap")
+		if s, err := ipcp.LoadSnapshot(snapPath, cache); err == nil {
+			prev = s
+		}
 	}
-	prog, err := ipcp.LoadFile(args[0])
-	return prog, args[0], err
+	if baseline != "" {
+		base, err := ipcp.LoadFile(baseline)
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		_, prev = base.AnalyzeIncremental(cfg, prev, cache)
+	}
+
+	rep, snap := prog.AnalyzeIncremental(cfg, prev, cache)
+	if snapPath != "" {
+		if err := snap.Save(snapPath); err != nil {
+			cli.Fatal("ipcp", err)
+		}
+	}
+	return rep, cache
 }
 
 // verifyAgainstExecution runs the differential oracle over three input

@@ -21,6 +21,7 @@ import (
 
 	"ipcp/internal/analysis/callgraph"
 	"ipcp/internal/analysis/modref"
+	"ipcp/internal/cli"
 	"ipcp/internal/ir"
 	"ipcp/internal/ir/irbuild"
 	"ipcp/internal/mf/ast"
@@ -35,16 +36,14 @@ func main() {
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
 	flag.Parse()
 
-	src, err := source(*suiteName, *scale, flag.Args())
+	src, _, err := cli.Source(*suiteName, *scale, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfc:", err)
-		os.Exit(1)
+		cli.Fatal("mfc", err)
 	}
 
 	file, err := parser.Parse(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfc:", err)
-		os.Exit(1)
+		cli.Fatal("mfc", err)
 	}
 	if *dump == "ast" {
 		fmt.Print(ast.Format(file))
@@ -52,8 +51,7 @@ func main() {
 	}
 	sp, err := sema.Analyze(file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfc:", err)
-		os.Exit(1)
+		cli.Fatal("mfc", err)
 	}
 	prog := irbuild.Build(sp)
 
@@ -139,22 +137,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mfc: unknown dump kind %q\n", *dump)
 		os.Exit(2)
 	}
-}
-
-func source(suiteName string, scale int, args []string) (string, error) {
-	if suiteName != "" {
-		p := suite.Generate(suiteName, scale)
-		if p == nil {
-			return "", fmt.Errorf("unknown suite program %q", suiteName)
-		}
-		return p.Source, nil
-	}
-	if len(args) != 1 {
-		return "", fmt.Errorf("usage: mfc [flags] file.f (or -suite name)")
-	}
-	data, err := os.ReadFile(args[0])
-	if err != nil {
-		return "", err
-	}
-	return string(data), nil
 }

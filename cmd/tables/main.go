@@ -16,10 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 
 	"ipcp"
+	"ipcp/internal/cli"
 	"ipcp/internal/report"
 	"ipcp/internal/suite"
 )
@@ -95,8 +95,7 @@ func loadSuite(scale int) []*report.Loaded {
 	return suite.Run(scale, 0, func(p *suite.Program) *report.Loaded {
 		prog, err := ipcp.Load(p.Source)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: generated program %s is invalid: %v\n", p.Name, err)
-			os.Exit(1)
+			cli.Fatal("tables", fmt.Errorf("generated program %s is invalid: %w", p.Name, err))
 		}
 		return report.NewLoaded(p, prog)
 	})

@@ -1,10 +1,12 @@
 package ipcp_test
 
 import (
+	"reflect"
 	"testing"
 
 	"ipcp"
 	"ipcp/internal/suite"
+	"ipcp/internal/summary"
 )
 
 // FuzzAnalyze drives the entire pipeline — front end, SSA, value
@@ -45,5 +47,57 @@ func FuzzAnalyze(f *testing.F) {
 			t.Fatalf("solver disagreement: %d vs %d\n%s", a.TotalSubstituted, b.TotalSubstituted, src)
 		}
 		prog.AnalyzeIntraprocedural()
+	})
+}
+
+// FuzzSummaryCodec throws arbitrary bytes at the summary decoders. The
+// invariant: decoding never panics, and any value that does decode
+// survives a re-encode/re-decode round trip unchanged (what the
+// content-addressed store assumes). Byte-level canonicity is not
+// claimed: varint decoding tolerates padded forms.
+//
+// Run with `go test -fuzz FuzzSummaryCodec -fuzztime 1m .` for a session.
+func FuzzSummaryCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(summary.EncodeProc(&summary.ProcSummary{Name: "P", SourceHash: "h"}))
+	f.Add(summary.EncodeProc(&summary.ProcSummary{
+		Name:       "Q",
+		SourceHash: "h2",
+		Callees:    []string{"P"},
+		Returns: &summary.ReturnSummary{
+			Result: &summary.Op{Name: "+", Args: []summary.Expr{
+				&summary.Formal{Index: 0, Name: "N"}, &summary.Const{Val: 3}}},
+			Formal: []summary.Expr{nil},
+		},
+		Sites:      []*summary.SiteSummary{{Callee: "P", Formal: []summary.Expr{&summary.Const{Val: 1}}}},
+		ModFormals: []bool{true},
+		RefFormals: []bool{true},
+		ModGlobals: []int{0},
+		RefGlobals: []int{0, 1},
+	}))
+	f.Add(summary.EncodeSnapshot(&summary.Snapshot{
+		ConfigKey:   "ck",
+		GlobalsHash: "gh",
+		Procs: map[string]summary.ProcStamp{
+			"P": {SourceHash: "h", Key: summary.KeyOf("proc", "P"), Callees: []string{"Q"}},
+			"Q": {SourceHash: "h2", Key: summary.KeyOf("proc", "Q")},
+		},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		if s, err := summary.DecodeProc(data); err == nil {
+			s2, err := summary.DecodeProc(summary.EncodeProc(s))
+			if err != nil || !reflect.DeepEqual(s, s2) {
+				t.Fatalf("proc round trip broken on %x: %v", data, err)
+			}
+		}
+		if s, err := summary.DecodeSnapshot(data); err == nil {
+			s2, err := summary.DecodeSnapshot(summary.EncodeSnapshot(s))
+			if err != nil || !reflect.DeepEqual(s, s2) {
+				t.Fatalf("snapshot round trip broken on %x: %v", data, err)
+			}
+		}
 	})
 }

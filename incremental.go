@@ -1,0 +1,167 @@
+package ipcp
+
+import (
+	"fmt"
+	"os"
+
+	"ipcp/internal/incr"
+	"ipcp/internal/summary"
+)
+
+// This file is the public surface of the program database: a summary
+// cache (in memory or on disk), per-run snapshots, and
+// Program.AnalyzeIncremental, which reuses the summaries of procedures
+// an edit did not touch. See DESIGN.md, "Summary store and incremental
+// re-analysis".
+
+// SummaryCache is a content-addressed store of per-procedure analysis
+// summaries, shared across AnalyzeIncremental runs (and, for the disk
+// variant, across processes). Safe for concurrent use.
+type SummaryCache struct {
+	store summary.Store
+}
+
+// NewMemoryCache returns an unbounded in-memory summary cache.
+func NewMemoryCache() *SummaryCache {
+	return &SummaryCache{store: summary.NewMemStore(0)}
+}
+
+// NewBoundedMemoryCache returns an in-memory cache holding at most
+// maxEntries summaries; older entries are evicted past the bound.
+func NewBoundedMemoryCache(maxEntries int) *SummaryCache {
+	return &SummaryCache{store: summary.NewMemStore(maxEntries)}
+}
+
+// NewDiskCache opens (creating if needed) a summary cache persisted
+// under dir — the library form of cmd/ipcp's -cache-dir.
+func NewDiskCache(dir string) (*SummaryCache, error) {
+	st, err := summary.NewDiskStore(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ipcp: %w", err)
+	}
+	return &SummaryCache{store: st}, nil
+}
+
+// CacheStats counts a cache's traffic since it was opened.
+type CacheStats struct {
+	Hits      int64 // lookups that found a summary
+	Misses    int64 // lookups that found nothing
+	Puts      int64 // summaries written
+	Evictions int64 // summaries dropped by a bounded cache
+}
+
+// Stats returns the cache's accumulated counters.
+func (c *SummaryCache) Stats() CacheStats {
+	s := c.store.Stats()
+	return CacheStats{Hits: s.Hits, Misses: s.Misses, Puts: s.Puts, Evictions: s.Evictions}
+}
+
+// String renders the counters in one line (the -trace-passes cache
+// stats row).
+func (s CacheStats) String() string {
+	return fmt.Sprintf("summary cache: %d hits, %d misses, %d puts, %d evictions",
+		s.Hits, s.Misses, s.Puts, s.Evictions)
+}
+
+// Snapshot is the index one AnalyzeIncremental run leaves behind: the
+// per-procedure fingerprints and store keys a later run diffs against.
+// Snapshots are immutable and may seed any number of later runs.
+type Snapshot struct {
+	snap  *summary.Snapshot
+	cache *SummaryCache
+}
+
+// Procedures returns the number of procedures the snapshot stamps.
+func (s *Snapshot) Procedures() int { return len(s.snap.Procs) }
+
+// Save writes the snapshot to a file (the companion of a disk cache).
+func (s *Snapshot) Save(path string) error {
+	if err := os.WriteFile(path, summary.EncodeSnapshot(s.snap), 0o644); err != nil {
+		return fmt.Errorf("ipcp: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot written by Save and attaches it to the
+// cache holding its summaries.
+func LoadSnapshot(path string, cache *SummaryCache) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ipcp: %w", err)
+	}
+	snap, err := summary.DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("ipcp: %w", err)
+	}
+	return &Snapshot{snap: snap, cache: cache}, nil
+}
+
+// ConfigCacheKey fingerprints the configuration bits summaries depend
+// on (jump-function flavor, return JFs, MOD, codec version) — useful
+// for naming snapshot files per configuration, as cmd/ipcp does.
+func ConfigCacheKey(cfg Config) string {
+	return incr.ConfigKey(cfg.internal())
+}
+
+// IncrementalStats describes how an incremental run split the program.
+type IncrementalStats struct {
+	// TotalProcedures is the procedure count; Reanalyzed of them had
+	// their summaries rebuilt, Reused ran on cached ones.
+	TotalProcedures int
+	Reanalyzed      int
+	Reused          int
+
+	// CacheHits and CacheMisses count this run's cache lookups — one
+	// per procedure the invalidation analysis kept. Procedures the edit
+	// invalidated are never looked up.
+	CacheHits   int
+	CacheMisses int
+}
+
+// HitRate returns the fraction of this run's cache lookups that hit,
+// in [0,1]; a run with no lookups (a first run) reports 0.
+func (s *IncrementalStats) HitRate() float64 {
+	lookups := s.CacheHits + s.CacheMisses
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(lookups)
+}
+
+// AnalyzeIncremental runs interprocedural constant propagation under
+// cfg, reusing stored summaries for every procedure that prev proves
+// unchanged — the changed procedures, plus everything reachable
+// backward through the call graph from them, are re-analyzed; the rest
+// bind their cached jump functions and MOD/REF sets straight into the
+// solver. The returned Report is reflect.DeepEqual to Analyze(cfg)
+// apart from the Incremental field (the determinism suite proves it
+// over random edit sequences), and the returned Snapshot seeds the
+// next run.
+//
+// prev may be nil (first run: all procedures analyzed and cached).
+// cache may be nil, in which case prev's cache is used, or a fresh
+// in-memory cache when there is no prev either.
+func (p *Program) AnalyzeIncremental(cfg Config, prev *Snapshot, cache *SummaryCache) (*Report, *Snapshot) {
+	if cache == nil {
+		if prev != nil && prev.cache != nil {
+			cache = prev.cache
+		} else {
+			cache = NewMemoryCache()
+		}
+	}
+	var prevSnap *summary.Snapshot
+	if prev != nil {
+		prevSnap = prev.snap
+	}
+	eng := incr.NewEngine(cache.store)
+	res, snap, st := eng.Analyze(p.sp, cfg.internal(), prevSnap)
+	rep := buildReport(cfg, res)
+	rep.Incremental = &IncrementalStats{
+		TotalProcedures: st.TotalProcs,
+		Reanalyzed:      st.Reanalyzed,
+		Reused:          st.Reused,
+		CacheHits:       st.Hits,
+		CacheMisses:     st.Misses,
+	}
+	return rep, &Snapshot{snap: snap, cache: cache}
+}

@@ -1,0 +1,323 @@
+package ipcp_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/mf/ast"
+	"ipcp/internal/mf/parser"
+	"ipcp/internal/suite"
+)
+
+// This file is the differential proof of the incremental engine's
+// correctness guarantee: for any program, any edit history, and any
+// configuration, AnalyzeIncremental produces a Report
+// reflect.DeepEqual to a from-scratch Analyze of the same program —
+// summaries only short-circuit derivations whose outcome is already
+// known, they never change it.
+
+// editProgram applies one deterministic "edit" to MiniFortran source:
+// it picks an integer literal inside some unit's executable body
+// (choice driven by pick) and changes its value. It returns the new
+// source and false when the program has no body literals to edit.
+func editProgram(t testing.TB, src string, pick int) (string, bool) {
+	return editProgramIn(t, src, "", pick)
+}
+
+// editProgramIn is editProgram restricted to the named unit ("" means
+// any unit).
+func editProgramIn(t testing.TB, src string, unit string, pick int) (string, bool) {
+	t.Helper()
+	file, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("editProgram: source no longer parses: %v", err)
+	}
+	total := 0
+	for _, u := range file.Units {
+		if unit != "" && u.Name != unit {
+			continue
+		}
+		ast.RewriteExprs(u, func(e ast.Expr) ast.Expr {
+			if _, ok := e.(*ast.IntLit); ok {
+				total++
+			}
+			return e
+		})
+	}
+	if total == 0 {
+		return "", false
+	}
+	target := pick % total
+	if target < 0 {
+		target = -target
+	}
+	delta := int64(1 + pick%5)
+	seen := 0
+	for _, u := range file.Units {
+		if unit != "" && u.Name != unit {
+			continue
+		}
+		ast.RewriteExprs(u, func(e ast.Expr) ast.Expr {
+			if lit, ok := e.(*ast.IntLit); ok {
+				if seen == target {
+					lit.Value += delta
+				}
+				seen++
+			}
+			return e
+		})
+	}
+	return ast.Format(file), true
+}
+
+// incrementalConfigs is the configuration grid the incremental
+// differential suite sweeps: all four jump-function flavors at full
+// precision, a no-return-JF/no-MOD row, a complete-propagation row
+// (whose post-DCE re-propagations must run fresh), and a
+// dependence-solver row.
+func incrementalConfigs() []ipcp.Config {
+	cfgs := make([]ipcp.Config, 0, 7)
+	for _, j := range ipcp.JumpFunctions {
+		cfgs = append(cfgs, ipcp.Config{Jump: j, ReturnJumpFunctions: true, MOD: true})
+	}
+	return append(cfgs,
+		ipcp.Config{Jump: ipcp.PassThrough},
+		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, Complete: true},
+		ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true, DependenceSolver: true},
+	)
+}
+
+// normalizeIncrementalReports clears the fields that legitimately
+// differ between scratch and incremental runs: the run bookkeeping
+// (Incremental), the echoed worker knob, and wall-clock Nanos.
+func normalizeIncrementalReports(reps ...*ipcp.Report) {
+	for _, r := range reps {
+		r.Incremental = nil
+	}
+	normalizeReports(reps)
+}
+
+// TestDeterminismIncrementalEdits chains random single-procedure edits
+// over the random-program corpus and asserts, at every step of every
+// chain, that the incremental Report equals the from-scratch one —
+// sequentially and on 8 workers — for every configuration in the grid.
+func TestDeterminismIncrementalEdits(t *testing.T) {
+	nseeds := determinismSeeds(t)
+	cfgs := incrementalConfigs()
+	for seed := 0; seed < nseeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			size := 2 + seed%9
+			gen := suite.Random(int64(seed), size)
+			srcs := []string{gen.Source}
+			for e := 0; e < 2; e++ {
+				next, ok := editProgram(t, srcs[len(srcs)-1], seed*31+e*7+1)
+				if !ok {
+					break
+				}
+				srcs = append(srcs, next)
+			}
+			for ci, cfg := range cfgs {
+				cache := ipcp.NewMemoryCache()
+				var snap *ipcp.Snapshot
+				for step, src := range srcs {
+					prog, err := ipcp.Load(src)
+					if err != nil {
+						t.Fatalf("seed %d step %d: edited program invalid: %v", seed, step, err)
+					}
+					seqCfg := cfg
+					seqCfg.Workers = 1
+					scratch := prog.Analyze(seqCfg)
+					incSeq, nextSnap := prog.AnalyzeIncremental(seqCfg, snap, cache)
+					parCfg := cfg
+					parCfg.Workers = 8
+					incPar, _ := prog.AnalyzeIncremental(parCfg, snap, cache)
+
+					st := incSeq.Incremental
+					if st == nil || st.TotalProcedures != st.Reanalyzed+st.Reused {
+						t.Fatalf("seed %d config %d step %d: inconsistent incremental stats %+v",
+							seed, ci, step, st)
+					}
+					normalizeIncrementalReports(scratch, incSeq, incPar)
+					if !reflect.DeepEqual(scratch, incSeq) {
+						t.Fatalf("seed %d config %+v step %d: incremental report diverges from scratch\nscratch: %+v\nincr:    %+v",
+							seed, cfg, step, scratch, incSeq)
+					}
+					if !reflect.DeepEqual(scratch, incPar) {
+						t.Fatalf("seed %d config %+v step %d: parallel incremental report diverges from scratch",
+							seed, cfg, step)
+					}
+					snap = nextSnap
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismIncrementalUnchanged pins the no-op contract: a
+// re-run over unchanged source reports zero re-analyzed procedures and
+// a 100% cache hit rate, while the Report still matches scratch.
+func TestDeterminismIncrementalUnchanged(t *testing.T) {
+	cfgs := incrementalConfigs()
+	for _, name := range []string{"ocean", "linpackd", "spec77"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog := ipcp.MustLoad(suite.Generate(name, 2).Source)
+			for _, cfg := range cfgs {
+				cache := ipcp.NewMemoryCache()
+				first, snap := prog.AnalyzeIncremental(cfg, nil, cache)
+				if st := first.Incremental; st.Reanalyzed != st.TotalProcedures || st.CacheHits != 0 {
+					t.Fatalf("%s %+v: first run expected all-reanalyzed, got %+v", name, cfg, st)
+				}
+				// nil cache on the re-run: it must follow the snapshot.
+				second, _ := prog.AnalyzeIncremental(cfg, snap, nil)
+				st := second.Incremental
+				if st.Reanalyzed != 0 || st.Reused != st.TotalProcedures {
+					t.Fatalf("%s %+v: unchanged re-run re-analyzed %d of %d procedures",
+						name, cfg, st.Reanalyzed, st.TotalProcedures)
+				}
+				if st.CacheHits != st.TotalProcedures || st.CacheMisses != 0 || st.HitRate() != 1.0 {
+					t.Fatalf("%s %+v: unchanged re-run hit rate %.2f (%d hits, %d misses)",
+						name, cfg, st.HitRate(), st.CacheHits, st.CacheMisses)
+				}
+				scratch := prog.Analyze(cfg)
+				normalizeIncrementalReports(scratch, first, second)
+				if !reflect.DeepEqual(scratch, first) || !reflect.DeepEqual(scratch, second) {
+					t.Fatalf("%s %+v: incremental reports diverge from scratch", name, cfg)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismIncrementalPartialReuse edits only the main program —
+// which nothing calls, so the backward-invalidation closure is exactly
+// {main} — and asserts every other procedure's summary is reused.
+func TestDeterminismIncrementalPartialReuse(t *testing.T) {
+	gen := suite.Random(1, 8)
+	cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true}
+	cache := ipcp.NewMemoryCache()
+	prog := ipcp.MustLoad(gen.Source)
+	_, snap := prog.AnalyzeIncremental(cfg, nil, cache)
+
+	edited, ok := editProgramIn(t, gen.Source, "RANDP", 3)
+	if !ok {
+		t.Fatal("main program has no editable literals")
+	}
+	prog2 := ipcp.MustLoad(edited)
+	rep, _ := prog2.AnalyzeIncremental(cfg, snap, cache)
+	st := rep.Incremental
+	if st.Reanalyzed != 1 || st.Reused != st.TotalProcedures-1 {
+		t.Fatalf("main-only edit should re-analyze exactly 1 of %d procedures, got %+v",
+			st.TotalProcedures, st)
+	}
+	scratch := prog2.Analyze(cfg)
+	normalizeIncrementalReports(scratch, rep)
+	if !reflect.DeepEqual(scratch, rep) {
+		t.Fatal("partial-reuse report diverges from scratch")
+	}
+}
+
+// TestDeterminismIncrementalConfigIsolation feeds a snapshot taken
+// under one configuration to a run under another: the config-key check
+// must force a full re-analysis (stale summaries from a different
+// flavor would silently corrupt the result), and the outcome must
+// still match scratch.
+func TestDeterminismIncrementalConfigIsolation(t *testing.T) {
+	prog := ipcp.MustLoad(suite.Generate("ocean", 2).Source)
+	cache := ipcp.NewMemoryCache()
+	a := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true}
+	b := ipcp.Config{Jump: ipcp.Literal}
+	if ipcp.ConfigCacheKey(a) == ipcp.ConfigCacheKey(b) {
+		t.Fatal("distinct configurations share a cache key")
+	}
+	_, snapA := prog.AnalyzeIncremental(a, nil, cache)
+	repB, _ := prog.AnalyzeIncremental(b, snapA, cache)
+	if st := repB.Incremental; st.Reanalyzed != st.TotalProcedures {
+		t.Fatalf("config change must invalidate everything, got %+v", st)
+	}
+	scratch := prog.Analyze(b)
+	normalizeIncrementalReports(scratch, repB)
+	if !reflect.DeepEqual(scratch, repB) {
+		t.Fatal("cross-config incremental report diverges from scratch")
+	}
+}
+
+// TestIncrementalDiskCache round-trips the whole program database
+// through disk: a disk-backed cache plus a snapshot file, reopened
+// cold (fresh store handles, as a new process would), must yield a
+// 100%-hit unchanged re-run and a scratch-equal report after an edit.
+func TestIncrementalDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "snapshot.ipcsnap")
+	gen := suite.Random(7, 6)
+	cfg := ipcp.Config{Jump: ipcp.PassThrough, ReturnJumpFunctions: true, MOD: true}
+
+	cache, err := ipcp.NewDiskCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ipcp.MustLoad(gen.Source)
+	_, snap := prog.AnalyzeIncremental(cfg, nil, cache)
+	if err := snap.Save(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// "New process": reopen everything from disk.
+	cache2, err := ipcp.NewDiskCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ipcp.LoadSnapshot(snapPath, cache2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Procedures() != snap.Procedures() {
+		t.Fatalf("snapshot round-trip lost procedures: %d != %d", loaded.Procedures(), snap.Procedures())
+	}
+	rerun, _ := prog.AnalyzeIncremental(cfg, loaded, cache2)
+	if st := rerun.Incremental; st.Reanalyzed != 0 || st.HitRate() != 1.0 {
+		t.Fatalf("disk re-run expected full reuse, got %+v", st)
+	}
+
+	edited, ok := editProgram(t, gen.Source, 11)
+	if !ok {
+		t.Fatal("no editable literal")
+	}
+	prog2 := ipcp.MustLoad(edited)
+	rep, _ := prog2.AnalyzeIncremental(cfg, loaded, cache2)
+	scratch := prog2.Analyze(cfg)
+	normalizeIncrementalReports(scratch, rep)
+	if !reflect.DeepEqual(scratch, rep) {
+		t.Fatal("disk-cached incremental report diverges from scratch")
+	}
+	if s := cache2.Stats(); s.Hits == 0 {
+		t.Fatalf("disk cache recorded no hits: %+v", s)
+	}
+}
+
+// TestIncrementalBoundedCache checks that eviction degrades gracefully:
+// a cache too small for the program stays correct (evicted summaries
+// are recomputed) and reports evictions in its stats.
+func TestIncrementalBoundedCache(t *testing.T) {
+	gen := suite.Random(3, 9)
+	cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true}
+	cache := ipcp.NewBoundedMemoryCache(2)
+	prog := ipcp.MustLoad(gen.Source)
+	_, snap := prog.AnalyzeIncremental(cfg, nil, cache)
+	rep, _ := prog.AnalyzeIncremental(cfg, snap, cache)
+	scratch := prog.Analyze(cfg)
+	normalizeIncrementalReports(scratch, rep)
+	if !reflect.DeepEqual(scratch, rep) {
+		t.Fatal("bounded-cache incremental report diverges from scratch")
+	}
+	if s := cache.Stats(); s.Evictions == 0 {
+		t.Fatalf("2-entry cache over a %d-procedure program never evicted: %+v",
+			len(prog.Units()), s)
+	}
+}

@@ -1,0 +1,53 @@
+// Package cli holds the argument-handling plumbing the command-line
+// drivers (cmd/ipcp, cmd/mfc, cmd/tables) share: resolving the input
+// program from either a -suite name or a file argument, and uniform
+// fatal-error exits.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+// Source resolves the program source a driver operates on: the named
+// generated suite program when suiteName is non-empty, otherwise the
+// single file argument. The returned name is the suite name or file
+// path, for messages.
+func Source(suiteName string, scale int, args []string) (src, name string, err error) {
+	if suiteName != "" {
+		p := suite.Generate(suiteName, scale)
+		if p == nil {
+			return "", "", fmt.Errorf("unknown suite program %q (have: %s)",
+				suiteName, strings.Join(suite.Names(), ", "))
+		}
+		return p.Source, suiteName, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("expected one input: file.f (or -suite name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}
+
+// Load is Source followed by ipcp.Load.
+func Load(suiteName string, scale int, args []string) (*ipcp.Program, string, error) {
+	src, name, err := Source(suiteName, scale, args)
+	if err != nil {
+		return nil, "", err
+	}
+	prog, err := ipcp.Load(src)
+	return prog, name, err
+}
+
+// Fatal prints "tool: err" to stderr and exits with status 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintln(os.Stderr, tool+":", err)
+	os.Exit(1)
+}

@@ -29,7 +29,7 @@ func benchSema(b *testing.B, name string, scale int) *sema.Program {
 func prepared(b *testing.B, sp *sema.Program, cfg Config) *propagation {
 	b.Helper()
 	irp := irbuild.Build(sp)
-	pipe := newPropagation(irp, cfg, nil, nil)
+	pipe := newPropagation(irp, cfg, nil, nil, nil)
 	pipe.buildSSA()
 	pipe.stage1ReturnJFs()
 	pipe.stage2ForwardJFs()
@@ -73,7 +73,7 @@ func BenchmarkStage1ReturnJFs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		irp := irbuild.Build(sp)
-		pipe := newPropagation(irp, cfg, nil, nil)
+		pipe := newPropagation(irp, cfg, nil, nil, nil)
 		pipe.buildSSA()
 		b.StartTimer()
 		pipe.stage1ReturnJFs()
@@ -148,7 +148,7 @@ func BenchmarkStage2(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				pipe := newPropagation(irbuild.Build(sp), cfg, nil, nil)
+				pipe := newPropagation(irbuild.Build(sp), cfg, nil, nil, nil)
 				pipe.buildSSA()
 				pipe.stage1ReturnJFs()
 				b.StartTimer()
@@ -170,7 +170,7 @@ func BenchmarkStage1(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				pipe := newPropagation(irbuild.Build(sp), cfg, nil, nil)
+				pipe := newPropagation(irbuild.Build(sp), cfg, nil, nil, nil)
 				pipe.buildSSA()
 				b.StartTimer()
 				pipe.stage1ReturnJFs()

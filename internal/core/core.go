@@ -219,8 +219,12 @@ func (cfg Config) withDefaults() Config {
 // again from scratch on the cleaned program). cfg must already have
 // its defaults filled.
 func analyzeConfigured(irp *ir.Program, cfg Config) *Result {
-	pl := newPlan(cfg)
-	ctx := pass.NewContext(irp)
+	return runPlan(newPlan(cfg), pass.NewContext(irp), cfg)
+}
+
+// runPlan executes a declared plan over a prepared Context and collects
+// the result — the shared tail of the scratch and seeded entry points.
+func runPlan(pl *plan, ctx *pass.Context, cfg Config) *Result {
 	ctx.Debug = cfg.Debug
 	if err := pass.Run(ctx, pl.reg, pl.root); err != nil {
 		// Pipeline errors here are invariant violations (a pass that
@@ -288,6 +292,11 @@ type propagation struct {
 	oracle      ir.ModOracle
 	globalIndex map[*ir.GlobalVar]int
 
+	// reuse maps procedures whose stage-1/stage-2 outputs are injected
+	// from stored summaries instead of derived (nil outside incremental
+	// runs). See reuse.go.
+	reuse map[*ir.Proc]*ProcSeed
+
 	retJFs *jump.Store
 	vns    map[*ir.Proc]*valnum.Result
 	sites  map[*ir.Instr]*jump.Site
@@ -302,8 +311,9 @@ type propagation struct {
 // the whole-program caches, normally supplied by the pass Context so
 // repeated propagations over the same program share them; nil means
 // build fresh (the callgraph must come from the pre-SSA program, so it
-// is taken before any stage runs).
-func newPropagation(irp *ir.Program, cfg Config, cg *callgraph.Graph, mods *modref.Summary) *propagation {
+// is taken before any stage runs). reuse — normally nil — injects
+// stored summaries for unchanged procedures (reuse.go).
+func newPropagation(irp *ir.Program, cfg Config, cg *callgraph.Graph, mods *modref.Summary, reuse map[*ir.Proc]*ProcSeed) *propagation {
 	if cg == nil {
 		cg = callgraph.Build(irp)
 	}
@@ -316,6 +326,7 @@ func newPropagation(irp *ir.Program, cfg Config, cg *callgraph.Graph, mods *modr
 		prog:        irp,
 		cg:          cg,
 		mods:        mods,
+		reuse:       reuse,
 		globalIndex: make(map[*ir.GlobalVar]int, len(irp.ScalarGlobals)),
 		vns:         make(map[*ir.Proc]*valnum.Result, len(irp.Procs)),
 		sites:       make(map[*ir.Instr]*jump.Site),
@@ -333,9 +344,21 @@ func newPropagation(irp *ir.Program, cfg Config, cg *callgraph.Graph, mods *modr
 // buildSSA converts every procedure to SSA form, fanning out over the
 // worker pool: BuildSSA mutates only its own procedure and the MOD
 // oracle is read-only, so the procedures are independent.
+//
+// Seeded procedures skip SSA construction: their jump functions come
+// from the seed and their substitution counts replay cached use
+// vectors, so nothing downstream reads their SSA state — except
+// complete mode, whose dead-code elimination runs SCCP over every
+// procedure's entry values, so there everyone is converted.
 func (p *propagation) buildSSA() {
 	procs := p.prog.Procs
 	parallelFor(p.workers, len(procs), func(i int) {
+		if !p.cfg.Complete {
+			if seed := p.reuse[procs[i]]; seed != nil && seed.Uses != nil {
+				procs[i].ElidedPhis = seed.Uses.Phis
+				return
+			}
+		}
 		procs[i].BuildSSA(p.oracle)
 	})
 }
@@ -353,6 +376,19 @@ func (p *propagation) buildSSA() {
 // no cross-procedure reads at all and the whole stage is one wave.
 func (p *propagation) stage1ReturnJFs() {
 	p.retJFs = jump.NewStore(p.prog)
+	// Reused procedures publish their stored return jump functions up
+	// front: a summary is injected only when the procedure's whole
+	// forward cone is unchanged (internal/incr's invalidation rule), so
+	// the stored functions are exactly what re-deriving would produce,
+	// and publishing before the waves keeps every caller's view
+	// identical to the scratch schedule.
+	if p.cfg.ReturnJFs {
+		for proc, seed := range p.reuse {
+			if seed.Returns != nil {
+				p.retJFs.Set(proc, seed.Returns)
+			}
+		}
+	}
 	var re valnum.ReturnEval
 	if p.cfg.ReturnJFs {
 		re = p.retJFs
@@ -369,13 +405,18 @@ func (p *propagation) stage1ReturnJFs() {
 		rets := make([]*jump.Returns, len(wave))
 		parallelFor(p.workers, len(wave), func(i int) {
 			n := wave[i]
+			if p.reuse[n.Proc] != nil {
+				return // summary injected; nothing to derive
+			}
 			vns[i] = valnum.Analyze(n.Proc, re)
 			if p.cfg.ReturnJFs && !p.cg.InCycle(n) {
 				rets[i] = p.buildReturns(n.Proc, vns[i])
 			}
 		})
 		for i, n := range wave {
-			p.vns[n.Proc] = vns[i]
+			if vns[i] != nil {
+				p.vns[n.Proc] = vns[i]
+			}
 			if rets[i] != nil {
 				p.retJFs.Set(n.Proc, rets[i])
 			}
@@ -460,8 +501,32 @@ func (p *propagation) stage2ForwardJFs() {
 	out := make([]procSites, len(nodes))
 	parallelFor(p.workers, len(nodes), func(ni int) {
 		n := nodes[ni]
-		vn := p.vns[n.Proc]
 		ps := &out[ni]
+		if seed := p.reuse[n.Proc]; seed != nil {
+			// Replay the stored jump functions through the exact loop
+			// structure of the derivation below, so the shape tally
+			// (which skips array formals and truncated global slots)
+			// matches a scratch run bit for bit.
+			for si, call := range n.Sites {
+				ss := seed.Sites[si]
+				site := &jump.Site{Call: call, Formal: ss.Formal, Global: ss.Global}
+				for i := 0; i < call.NumActuals && i < len(call.Callee.Formals); i++ {
+					if call.Callee.Formals[i].Type.IsArray() {
+						continue
+					}
+					ps.shape.classify(site.Formal[i])
+				}
+				for k := range p.prog.ScalarGlobals {
+					if call.NumActuals+k >= len(call.Args) {
+						break
+					}
+					ps.shape.classify(site.Global[k])
+				}
+				ps.sites = append(ps.sites, site)
+			}
+			return
+		}
+		vn := p.vns[n.Proc]
 		for _, call := range n.Sites {
 			site := &jump.Site{
 				Call:   call,

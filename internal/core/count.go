@@ -21,6 +21,14 @@ import (
 //     modify (replacing such a reference with a literal would change
 //     the program, so the transformer leaves it).
 func (p *propagation) countSubstitutions(proc *ir.Proc) (count, controlFlow int) {
+	// A seeded procedure replays its cached per-variable use counts
+	// instead of walking SSA form — the counts depend only on the
+	// procedure body and its callees' MOD sets (both covered by the
+	// seed's cone key), so the replay is exact, and skipping the walk is
+	// what lets buildSSA skip reused procedures entirely.
+	if seed := p.reuse[proc]; seed != nil && seed.Uses != nil {
+		return p.countFromUses(proc, seed.Uses)
+	}
 	constEntry := p.constEntryValues(proc)
 	if len(constEntry) == 0 {
 		return 0, 0
@@ -78,6 +86,103 @@ func (p *propagation) constEntryValues(proc *ir.Proc) map[*ir.Value]bool {
 		}
 	}
 	return set
+}
+
+// VarUses counts the textual references one variable's constant entry
+// value would substitute: Subs in total, Control of them in
+// control-flow roles.
+type VarUses struct {
+	Subs    int
+	Control int
+}
+
+// ProcUses is countSubstitutions factored by variable: Formal[i] for
+// the i-th formal, Global[k] for the k-th scalar global (parallel to
+// Prog.ScalarGlobals). Because a reference is substituted exactly when
+// its variable's VAL is constant, the substitution count under any VAL
+// sets is the sum of the constant variables' entries — so these vectors
+// let a later run count without SSA form.
+type ProcUses struct {
+	Formal []VarUses
+	Global []VarUses
+
+	// Phis is the number of phi instructions the procedure's SSA
+	// conversion inserts — replayed into Proc.ElidedPhis when the
+	// conversion is skipped, so IR-size traces match a scratch run.
+	Phis int
+}
+
+// collectUses derives a procedure's ProcUses from its SSA form, by the
+// same walk and exclusions as countSubstitutions.
+func (p *propagation) collectUses(proc *ir.Proc) *ProcUses {
+	u := &ProcUses{
+		Formal: make([]VarUses, len(proc.Formals)),
+		Global: make([]VarUses, len(proc.GlobalVars)),
+	}
+	owner := make(map[*ir.Value]int, len(proc.Formals)+len(proc.GlobalVars))
+	nf := len(proc.Formals)
+	for i, f := range proc.Formals {
+		if ev := proc.EntryValues[f]; ev != nil {
+			owner[ev] = i
+		}
+	}
+	for k, gvar := range proc.GlobalVars {
+		if ev := proc.EntryValues[gvar]; ev != nil {
+			owner[ev] = nf + k
+		}
+	}
+	for _, b := range proc.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == ir.OpPhi {
+				u.Phis++
+				continue
+			}
+			for a := range i.Args {
+				op := &i.Args[a]
+				if op.Synthetic || op.Val == nil {
+					continue
+				}
+				slot, ok := owner[op.Val]
+				if !ok {
+					continue
+				}
+				if i.Op == ir.OpCall && a < i.NumActuals && isByRefModified(p.oracle, i, a) {
+					continue
+				}
+				var vu *VarUses
+				if slot < nf {
+					vu = &u.Formal[slot]
+				} else {
+					vu = &u.Global[slot-nf]
+				}
+				vu.Subs++
+				if i.Role != ir.RoleNone {
+					vu.Control++
+				}
+			}
+		}
+	}
+	return u
+}
+
+// countFromUses sums the cached use counts of the variables whose final
+// VAL is constant — the seeded procedure's countSubstitutions.
+func (p *propagation) countFromUses(proc *ir.Proc, u *ProcUses) (count, controlFlow int) {
+	fv := p.vals.formals[proc]
+	for i := range proc.Formals {
+		if _, ok := fv[i].IntConst(); ok {
+			count += u.Formal[i].Subs
+			controlFlow += u.Formal[i].Control
+		}
+	}
+	gv := p.vals.globals[proc]
+	for k := range proc.GlobalVars {
+		if _, ok := gv[k].IntConst(); ok {
+			count += u.Global[k].Subs
+			controlFlow += u.Global[k].Control
+		}
+	}
+	return count, controlFlow
 }
 
 // isByRefModified reports whether actual a of the call is a bare

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"ipcp/internal/ir"
 	"ipcp/internal/pass"
 )
 
@@ -20,6 +21,15 @@ const FactResult pass.Fact = "ipcp-result"
 type Propagate struct {
 	cfg  Config
 	last *Result
+
+	// Incremental reuse (AnalyzeSeeded): seeds are injected — and the
+	// finished summaries captured — only for the run over seedProg, the
+	// program the seeds were bound against. Complete-propagation reruns
+	// execute over DCE-rebuilt programs that no longer correspond to
+	// any stored summary, so they run fresh, exactly as from scratch.
+	seedProg *ir.Program
+	seeds    map[string]*ProcSeed
+	captured *Summaries
 }
 
 // NewPropagate builds the propagation pass for one configuration
@@ -36,7 +46,14 @@ func (p *Propagate) Invalidates() []pass.Fact { return nil }
 // the Context's callgraph and mod/ref caches. The callgraph is taken
 // before SSA construction mutates call instructions — order matters.
 func (p *Propagate) Run(ctx *pass.Context) (bool, error) {
-	pr := newPropagation(ctx.Program(), p.cfg, ctx.CallGraph(), ctx.ModRef())
+	prog := ctx.Program()
+	var reuse map[*ir.Proc]*ProcSeed
+	capture := false
+	if p.seedProg != nil && prog == p.seedProg {
+		capture = true
+		reuse = resolveSeeds(prog, ctx.CallGraph(), p.seeds)
+	}
+	pr := newPropagation(prog, p.cfg, ctx.CallGraph(), ctx.ModRef(), reuse)
 	pr.buildSSA()
 	pr.stage1ReturnJFs()
 	pr.stage2ForwardJFs()
@@ -46,6 +63,9 @@ func (p *Propagate) Run(ctx *pass.Context) (bool, error) {
 		pr.stage3Propagate()
 	}
 	p.last = pr.stage4Record()
+	if capture {
+		p.captured = pr.extractSummaries()
+	}
 	ctx.SetFact(FactResult, p.last)
 	return true, nil
 }
@@ -68,8 +88,16 @@ type plan struct {
 // inserts a fresh propagation at the start of every round (and skips
 // the redundant one after the round that found nothing to remove).
 func newPlan(cfg Config) *plan {
+	return newPlanWith(cfg.withDefaults(), NewPropagate(cfg))
+}
+
+// newPlanWith builds the plan around a caller-prepared propagation
+// pass (the seeded one, for incremental runs); the composition is
+// identical to newPlan's, so seeded and scratch runs produce the same
+// pass trace.
+func newPlanWith(cfg Config, prop *Propagate) *plan {
 	cfg = cfg.withDefaults()
-	pl := &plan{prop: NewPropagate(cfg), reg: pass.NewRegistry()}
+	pl := &plan{prop: prop, reg: pass.NewRegistry()}
 	pl.reg.Register(pl.prop, FactResult)
 	if cfg.Complete {
 		pl.fix = pass.NewFixpoint("complete", &dcePass{}, cfg.MaxDCERounds)

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"ipcp/internal/analysis/callgraph"
+	"ipcp/internal/analysis/modref"
+	"ipcp/internal/core/jump"
+	"ipcp/internal/ir"
+	"ipcp/internal/pass"
+	"ipcp/internal/sym"
+)
+
+// This file is core's half of the incremental re-analysis contract
+// (internal/incr holds the other half): a caller that knows some
+// procedures are unchanged since a previous run hands their stored
+// stage-1/stage-2 outputs in as seeds, the propagation injects them
+// instead of re-deriving (skipping value numbering and jump-function
+// construction for those procedures), and the finished run hands back
+// the summaries of every procedure so the caller can persist them.
+//
+// Soundness is entirely the caller's burden — a seed must be exactly
+// what re-deriving would produce, which internal/incr guarantees by
+// invalidating every procedure whose forward call cone changed. Core
+// only checks structural compatibility (resolveSeeds) and silently
+// drops any seed that does not fit: dropping a seed is always safe, it
+// merely costs the re-derivation.
+
+// SeedSite carries the stored forward jump functions of one call site,
+// already bound to the current program's sym leaves. Vector lengths
+// must match the fresh derivation: one entry per callee formal and one
+// per scalar global (nil = ⊥).
+type SeedSite struct {
+	Formal []sym.Expr
+	Global []sym.Expr
+}
+
+// ProcSeed is everything stage 1 and stage 2 would compute for one
+// unchanged procedure: its return jump functions (nil when none were
+// built) and the jump functions of each call site in body order, plus
+// the cached substitution-use vectors that let stage 4 count without
+// the procedure ever being converted to SSA form.
+type ProcSeed struct {
+	Returns *jump.Returns
+	Sites   []*SeedSite
+	Uses    *ProcUses
+}
+
+// Reuse is the seeded-analysis input: the pre-SSA callgraph and
+// mod/ref summaries the caller already built for the program (shared
+// into the pass Context so they are not recomputed), plus the seeds by
+// procedure name. Any field may be nil.
+type Reuse struct {
+	CG    *callgraph.Graph
+	Mods  *modref.Summary
+	Procs map[string]*ProcSeed
+}
+
+// Summaries is the extraction a seeded run hands back: the return jump
+// functions and call-site jump functions of every procedure (seeded
+// ones included), keyed by name, with sites in callgraph body order.
+// The expressions alias the analyzed program's IR; internal/summary
+// makes them portable.
+type Summaries struct {
+	Returns map[string]*jump.Returns
+	Sites   map[string][]*jump.Site
+
+	// Uses holds the substitution-use vectors of every procedure the run
+	// derived fresh (seeded procedures keep the vectors they came with).
+	Uses map[string]*ProcUses
+}
+
+// AnalyzeSeeded runs one configured analysis over a fresh pre-SSA
+// program with stored summaries injected for the seeded procedures,
+// and additionally extracts the summaries of the (first) propagation
+// so the caller can persist them. The Result is identical to Analyze
+// on the same program — seeds only short-circuit derivations whose
+// outcome is already known. In complete mode the seeds apply to the
+// first propagation only; the post-DCE re-propagations run fresh,
+// exactly as they do from scratch.
+func AnalyzeSeeded(irp *ir.Program, cfg Config, reuse *Reuse) (*Result, *Summaries) {
+	cfg = cfg.withDefaults()
+	prop := NewPropagate(cfg)
+	prop.seedProg = irp
+	ctx := pass.NewContext(irp)
+	if reuse != nil {
+		prop.seeds = reuse.Procs
+		ctx = pass.NewContextWith(irp, reuse.CG, reuse.Mods)
+	}
+	res := runPlan(newPlanWith(cfg, prop), ctx, cfg)
+	return res, prop.captured
+}
+
+// resolveSeeds binds named seeds to procedures of prog, dropping any
+// seed that does not structurally match the current program: a missing
+// procedure, a call-site count or vector-length mismatch, or return
+// jump functions for a procedure the scratch analysis would give none
+// (a recursive one). The survivors are safe to inject verbatim.
+func resolveSeeds(prog *ir.Program, cg *callgraph.Graph, seeds map[string]*ProcSeed) map[*ir.Proc]*ProcSeed {
+	if len(seeds) == 0 {
+		return nil
+	}
+	out := make(map[*ir.Proc]*ProcSeed, len(seeds))
+	for name, seed := range seeds {
+		proc := prog.ProcByName[name]
+		if proc == nil || seed == nil {
+			continue
+		}
+		n := cg.Nodes[proc]
+		if n == nil || len(seed.Sites) != len(n.Sites) {
+			continue
+		}
+		if seed.Returns != nil &&
+			(cg.InCycle(n) || len(seed.Returns.Formal) != len(proc.Formals)) {
+			continue
+		}
+		if seed.Uses == nil ||
+			len(seed.Uses.Formal) != len(proc.Formals) ||
+			len(seed.Uses.Global) != len(proc.GlobalVars) {
+			continue
+		}
+		ok := true
+		for i, call := range n.Sites {
+			ss := seed.Sites[i]
+			if ss == nil ||
+				len(ss.Formal) != len(call.Callee.Formals) ||
+				len(ss.Global) != len(prog.ScalarGlobals) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[proc] = seed
+		}
+	}
+	return out
+}
+
+// extractSummaries collects the per-procedure summaries of a finished
+// propagation, in deterministic callgraph order.
+func (p *propagation) extractSummaries() *Summaries {
+	s := &Summaries{
+		Returns: make(map[string]*jump.Returns, len(p.prog.Procs)),
+		Sites:   make(map[string][]*jump.Site, len(p.prog.Procs)),
+		Uses:    make(map[string]*ProcUses, len(p.prog.Procs)),
+	}
+	for _, n := range p.cg.TopDown() {
+		if r := p.retJFs.Get(n.Proc); r != nil {
+			s.Returns[n.Proc.Name] = r
+		}
+		sites := make([]*jump.Site, len(n.Sites))
+		for i, call := range n.Sites {
+			sites[i] = p.sites[call]
+		}
+		s.Sites[n.Proc.Name] = sites
+		// Seeded procedures may have skipped SSA; their use vectors live
+		// in the seed and their summaries are already stored.
+		if p.reuse[n.Proc] == nil {
+			s.Uses[n.Proc.Name] = p.collectUses(n.Proc)
+		}
+	}
+	return s
+}

@@ -1,0 +1,41 @@
+package incr
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs f(0..n-1) over up to GOMAXPROCS goroutines. Callers
+// must only write to per-index slots; the engine's uses keep results
+// independent of scheduling.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	step := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*step, (w+1)*step
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -143,6 +143,14 @@ type Proc struct {
 	// SrcLines is the number of noncomment source lines of the original
 	// program unit (used for Table 1).
 	SrcLines int
+
+	// ElidedPhis counts the phi instructions a summary-seeded analysis
+	// chose not to materialize by skipping this procedure's SSA
+	// conversion (the count BuildSSA would have inserted, replayed from
+	// the procedure's stored summary). IR size counts include it so
+	// pass traces are identical whether or not summaries were reused;
+	// it is zero everywhere outside a seeded run.
+	ElidedPhis int
 }
 
 // NumScalarFormals returns the number of non-array formals.

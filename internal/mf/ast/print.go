@@ -25,6 +25,17 @@ func Format(file *File) string {
 	return sb.String()
 }
 
+// FormatUnit renders a single program unit as source text. The output
+// is the unit exactly as Format would print it inside the whole file —
+// the normalized form the incremental engine fingerprints, so that
+// whitespace and comment differences never invalidate a summary.
+func FormatUnit(u *Unit) string {
+	var sb strings.Builder
+	p := printer{sb: &sb}
+	p.unit(u)
+	return sb.String()
+}
+
 // FormatExpr renders a single expression as source text.
 func FormatExpr(e Expr) string {
 	var p printer

@@ -1,0 +1,86 @@
+package sema
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"ipcp/internal/mf/ast"
+)
+
+// This file gives every program unit a stable fingerprint, the
+// foundation of the incremental re-analysis engine (internal/incr): a
+// procedure's summary may be reused across runs exactly when its
+// fingerprint — and those of the procedures it transitively calls —
+// are unchanged. Fingerprints hash the *normalized* pretty-printed
+// source, so formatting-only edits (whitespace, comments, line breaks)
+// never invalidate a summary.
+
+// UnitSource returns the normalized source text of one unit: the unit
+// as the AST printer renders it.
+func UnitSource(u *UnitInfo) string { return ast.FormatUnit(u.Unit) }
+
+// UnitHash returns the hex SHA-256 of a unit's normalized source.
+func UnitHash(u *UnitInfo) string {
+	sum := sha256.Sum256([]byte(UnitSource(u)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprints returns the UnitHash of every unit, keyed by unit name
+// (unit names are unique — sema enforces it). Units hash independently,
+// so the work fans out over the CPUs; the result does not depend on
+// scheduling.
+func (p *Program) Fingerprints() map[string]string {
+	hashes := make([]string, len(p.Units))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(p.Units) {
+		workers = len(p.Units)
+	}
+	var next sync.WaitGroup
+	step := (len(p.Units) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * step
+		hi := lo + step
+		if hi > len(p.Units) {
+			hi = len(p.Units)
+		}
+		if lo >= hi {
+			break
+		}
+		next.Add(1)
+		go func(lo, hi int) {
+			defer next.Done()
+			for i := lo; i < hi; i++ {
+				hashes[i] = UnitHash(p.Units[i])
+			}
+		}(lo, hi)
+	}
+	next.Wait()
+	fps := make(map[string]string, len(p.Units))
+	for i, u := range p.Units {
+		fps[u.Name] = hashes[i]
+	}
+	return fps
+}
+
+// GlobalsSchema renders the program's COMMON-block layout — every
+// global in dense ID order with its block, position, name, type, and
+// dimensions. Two programs with equal schemas agree about the identity
+// and numbering of every global, which is what stored summaries that
+// mention globals by ID depend on.
+func (p *Program) GlobalsSchema() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "%d %s %d %s %s %v\n", g.ID, g.Block, g.Index, g.Name, g.Type, g.Dims)
+	}
+	return sb.String()
+}
+
+// GlobalsHash returns the hex SHA-256 of the globals schema.
+func (p *Program) GlobalsHash() string {
+	sum := sha256.Sum256([]byte(p.GlobalsSchema()))
+	return hex.EncodeToString(sum[:])
+}

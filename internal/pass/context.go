@@ -41,6 +41,18 @@ func NewContext(prog *ir.Program) *Context {
 	}
 }
 
+// NewContextWith wraps a program whose callgraph and mod/ref summaries
+// were already built (the incremental driver computes both to decide
+// summary validity before the pipeline runs). cg and mods must describe
+// prog in its current — pre-SSA — form; either may be nil to fall back
+// to lazy construction. SetProgram drops them like any other cache.
+func NewContextWith(prog *ir.Program, cg *callgraph.Graph, mods *modref.Summary) *Context {
+	ctx := NewContext(prog)
+	ctx.cg = cg
+	ctx.mods = mods
+	return ctx
+}
+
 // Program returns the current program.
 func (ctx *Context) Program() *ir.Program {
 	ctx.mu.Lock()

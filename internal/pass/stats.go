@@ -48,6 +48,7 @@ func countIR(p *ir.Program) (procs, blocks, instrs int) {
 	procs = len(p.Procs)
 	for _, proc := range p.Procs {
 		blocks += len(proc.Blocks)
+		instrs += proc.ElidedPhis
 		for _, b := range proc.Blocks {
 			instrs += len(b.Instrs)
 		}

@@ -1,0 +1,222 @@
+package summary
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sampleProc exercises every field of the proc record: a full return
+// summary, multiple sites with nil (⊥) slots, nested expressions, and
+// non-empty MOD/REF vectors.
+func sampleProc() *ProcSummary {
+	return &ProcSummary{
+		Name:       "SOLVE",
+		SourceHash: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+		Callees:    []string{"INIT", "STEP"},
+		Returns: &ReturnSummary{
+			Result: &Op{Name: "+", Args: []Expr{&Formal{Index: 0, Name: "N"}, &Const{Val: 1}}},
+			Formal: []Expr{&Formal{Index: 0, Name: "N"}, nil},
+			Globals: []GlobalExpr{
+				{ID: 2, Ref: "COM.K", E: &Const{Val: 42}},
+				{ID: 5, Ref: "COM.M", E: &Global{ID: 5, Ref: "COM.M"}},
+			},
+		},
+		Sites: []*SiteSummary{
+			{
+				Callee: "INIT",
+				Formal: []Expr{&Const{Val: -7}, nil},
+				Global: []Expr{&Op{Name: "*", Args: []Expr{&Const{Val: 2}, &Global{ID: 2, Ref: "COM.K"}}}},
+			},
+			{Callee: "STEP", Formal: nil, Global: []Expr{nil}},
+		},
+		ModFormals: []bool{true, false},
+		RefFormals: []bool{true, true},
+		ModGlobals: []int{2},
+		RefGlobals: []int{2, 5},
+		FormalUses: []UseCount{{Subs: 4, Control: 2}, {Subs: 0, Control: 0}},
+		GlobalUses: []UseCount{{Subs: 1, Control: 1}},
+		SSAPhis:    3,
+	}
+}
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		ConfigKey:   KeyOf("config", "test").String(),
+		GlobalsHash: "abc123",
+		Procs: map[string]ProcStamp{
+			"SOLVE": {SourceHash: "h1", Key: KeyOf("proc", "1"), Callees: []string{"INIT", "STEP"}},
+			"INIT":  {SourceHash: "h2", Key: KeyOf("proc", "2")},
+			"STEP":  {SourceHash: "h3", Key: KeyOf("proc", "3"), Callees: []string{"INIT"}},
+		},
+	}
+}
+
+func TestProcRoundTrip(t *testing.T) {
+	cases := []*ProcSummary{
+		sampleProc(),
+		{Name: "EMPTY", SourceHash: "h"},
+		{Name: "LEAF", SourceHash: "h", Returns: &ReturnSummary{Formal: []Expr{nil}}},
+	}
+	for _, s := range cases {
+		enc := EncodeProc(s)
+		got, err := DecodeProc(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("%s: round trip mismatch\nwant %+v\ngot  %+v", s.Name, s, got)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mismatch\nwant %+v\ngot  %+v", s, got)
+	}
+}
+
+// TestEncodeDeterministic pins that encoding is byte-for-byte stable —
+// content-addressed storage and snapshot diffing both rely on it. The
+// snapshot case matters most: its procs live in a map, so the encoder
+// must impose an order.
+func TestEncodeDeterministic(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(EncodeProc(sampleProc()), EncodeProc(sampleProc())) {
+			t.Fatal("EncodeProc is not deterministic")
+		}
+		if !bytes.Equal(EncodeSnapshot(sampleSnapshot()), EncodeSnapshot(sampleSnapshot())) {
+			t.Fatal("EncodeSnapshot is not deterministic")
+		}
+	}
+}
+
+// TestGoldenHeader pins the wire header so accidental format changes
+// without a Version bump are caught.
+func TestGoldenHeader(t *testing.T) {
+	enc := EncodeProc(&ProcSummary{Name: "P", SourceHash: "h"})
+	if string(enc[:4]) != "IPCS" {
+		t.Fatalf("magic = %q, want IPCS", enc[:4])
+	}
+	if v := uint16(enc[4])<<8 | uint16(enc[5]); v != Version {
+		t.Fatalf("version = %d, want %d", v, Version)
+	}
+	if enc[6] != 1 {
+		t.Fatalf("kind = %d, want 1 (proc)", enc[6])
+	}
+	snap := EncodeSnapshot(&Snapshot{Procs: map[string]ProcStamp{}})
+	if snap[6] != 2 {
+		t.Fatalf("snapshot kind = %d, want 2", snap[6])
+	}
+}
+
+// TestDecodeCorrupt flips every byte of valid encodings one at a time:
+// decode must either succeed-with-equal-value (impossible here thanks
+// to the checksum) or return an error wrapping ErrCorrupt — it must
+// never panic and never return silently wrong data.
+func TestDecodeCorrupt(t *testing.T) {
+	enc := EncodeProc(sampleProc())
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x41
+		if _, err := DecodeProc(mut); err == nil {
+			t.Fatalf("byte %d flipped: decode succeeded", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d flipped: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+	snap := EncodeSnapshot(sampleSnapshot())
+	for i := range snap {
+		mut := append([]byte(nil), snap...)
+		mut[i] ^= 0x41
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("snapshot byte %d flipped: decode succeeded", i)
+		}
+	}
+}
+
+// TestDecodeTruncated drops suffixes: every proper prefix must fail
+// cleanly, as must trailing garbage.
+func TestDecodeTruncated(t *testing.T) {
+	enc := EncodeProc(sampleProc())
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeProc(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+	if _, err := DecodeProc(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeProc(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("nil input must report corruption")
+	}
+	// Kind confusion: a snapshot fed to the proc decoder and vice versa.
+	if _, err := DecodeProc(EncodeSnapshot(sampleSnapshot())); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("snapshot bytes accepted as proc")
+	}
+	if _, err := DecodeSnapshot(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("proc bytes accepted as snapshot")
+	}
+}
+
+func TestKeyOfFraming(t *testing.T) {
+	// Length-prefixed framing: concatenation ambiguity must not collide.
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Fatal("KeyOf collides under re-framing")
+	}
+	if KeyOf("a", "b") == KeyOf("a", "b", "") {
+		t.Fatal("KeyOf ignores empty trailing part")
+	}
+}
+
+func TestMemStoreEviction(t *testing.T) {
+	s := NewMemStore(2)
+	k1, k2, k3 := KeyOf("1"), KeyOf("2"), KeyOf("3")
+	for _, k := range []Key{k1, k2, k3} {
+		if err := s.Put(k, []byte(k.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", s.Len())
+	}
+	if _, ok := s.Get(k1); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if v, ok := s.Get(k3); !ok || string(v) != k3.String() {
+		t.Fatal("newest entry lost")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Puts != 3 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("proc", "X")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// A second handle over the same directory sees the entry.
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Get(k); !ok || string(v) != "payload" {
+		t.Fatalf("cross-handle read got %q, %v", v, ok)
+	}
+}

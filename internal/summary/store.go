@@ -1,0 +1,179 @@
+package summary
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is a content-addressed blob store: encoded summaries keyed by
+// the Key that fingerprints everything they depend on. Because a key
+// change *is* the invalidation (a stale entry is simply never asked
+// for again), a Store needs no delete operation — only bounded stores
+// evict. Implementations are safe for concurrent use.
+type Store interface {
+	// Get returns the value stored under k.
+	Get(k Key) ([]byte, bool)
+
+	// Put stores v under k, overwriting any previous value. Failures
+	// (a full disk) are reported but non-fatal: the store is a cache,
+	// and a missed Put only costs a future recomputation.
+	Put(k Key, v []byte) error
+
+	// Stats returns the access counters accumulated so far.
+	Stats() StoreStats
+}
+
+// StoreStats counts store traffic.
+type StoreStats struct {
+	Hits      int64 // Gets that found a value
+	Misses    int64 // Gets that found nothing
+	Puts      int64 // successful Puts
+	Evictions int64 // entries dropped by a bounded MemStore
+}
+
+// counters is the shared atomic tally behind both stores.
+type counters struct {
+	hits, misses, puts, evictions atomic.Int64
+}
+
+func (c *counters) stats() StoreStats {
+	return StoreStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store
+
+// MemStore is an in-memory Store, optionally bounded: when maxEntries
+// is positive, inserting past the bound evicts the oldest entries in
+// insertion order (the incremental engine re-keys on every change, so
+// old keys go cold and FIFO approximates LRU well enough for a cache
+// whose misses are merely recomputations).
+type MemStore struct {
+	mu         sync.Mutex
+	maxEntries int
+	vals       map[Key][]byte
+	order      []Key // insertion order, for bounded eviction
+	counters
+}
+
+// NewMemStore returns an in-memory store holding at most maxEntries
+// values (0 = unbounded).
+func NewMemStore(maxEntries int) *MemStore {
+	return &MemStore{maxEntries: maxEntries, vals: make(map[Key][]byte)}
+}
+
+// Get implements Store.
+func (s *MemStore) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put implements Store.
+func (s *MemStore) Put(k Key, v []byte) error {
+	s.mu.Lock()
+	if _, exists := s.vals[k]; !exists {
+		s.order = append(s.order, k)
+		if s.maxEntries > 0 {
+			for len(s.order) > s.maxEntries {
+				victim := s.order[0]
+				s.order = s.order[1:]
+				delete(s.vals, victim)
+				s.evictions.Add(1)
+			}
+		}
+	}
+	s.vals[k] = v
+	s.mu.Unlock()
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() StoreStats { return s.stats() }
+
+// Len returns the number of stored entries.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}
+
+// ---------------------------------------------------------------------------
+// Disk store
+
+// DiskStore persists values as one file per key under a directory
+// (cmd/ipcp -cache-dir), so summaries survive across processes. Writes
+// go through a temp file and a rename, keeping concurrent readers from
+// ever seeing a torn value.
+type DiskStore struct {
+	dir string
+	counters
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("summary: cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(k Key) string {
+	return filepath.Join(s.dir, k.String()+".ipcs")
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(k Key) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(k Key, v []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, s.path(k)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats implements Store.
+func (s *DiskStore) Stats() StoreStats { return s.stats() }

@@ -1,0 +1,312 @@
+// Package summary is the analyzer's persistent program database, after
+// the one Grove & Torczon's analyzer lived in inside ParaScope: a
+// versioned codec and a content-addressed store for per-procedure
+// interprocedural summaries. A summary captures everything stage 1 and
+// stage 2 of the propagation compute for one procedure — its return
+// jump functions, the forward jump functions of every call site in its
+// body, its MOD/REF sets, and its outgoing call edges — in a portable
+// form with no pointers into any particular IR instance, so a summary
+// written by one run can be bound into the freshly lowered program of a
+// later run (internal/incr does the binding and decides validity).
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ipcp/internal/ir"
+	"ipcp/internal/sym"
+)
+
+// Key addresses one stored value: a SHA-256 over everything the value
+// depends on (internal/incr computes cone keys; see its documentation
+// for the scheme).
+type Key [sha256.Size]byte
+
+// KeyOf hashes a list of byte strings into a Key. Each part is
+// length-prefixed so the framing is unambiguous.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	var frame [20]byte
+	for _, p := range parts {
+		b := strconv.AppendInt(frame[:0], int64(len(p)), 10)
+		b = append(b, ':')
+		h.Write(b)
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ---------------------------------------------------------------------------
+// Portable expressions
+
+// Expr is a jump-function expression with every IR pointer replaced by
+// a stable coordinate: formals by index, globals by dense ID (guarded
+// by the program's globals-schema hash), operators by name. A nil Expr
+// is ⊥, exactly like a nil sym.Expr. Stored expressions are always
+// closed — the propagation only keeps closed jump functions — so there
+// is no Unknown variant.
+type Expr interface{ isExpr() }
+
+// Const is an integer constant leaf.
+type Const struct{ Val int64 }
+
+// Formal is the entry value of the enclosing procedure's Index-th
+// formal parameter.
+type Formal struct {
+	Index int
+	Name  string
+}
+
+// Global is the entry value of the global with the given dense ID; Ref
+// is its "BLOCK.NAME" spelling, cross-checked when binding.
+type Global struct {
+	ID  int
+	Ref string
+}
+
+// Op applies a named operator to argument expressions.
+type Op struct {
+	Name string
+	Args []Expr
+}
+
+func (*Const) isExpr()  {}
+func (*Formal) isExpr() {}
+func (*Global) isExpr() {}
+func (*Op) isExpr()     {}
+
+// opByName maps operator spellings back to IR operators — exactly the
+// arithmetic set sym.MakeOp accepts.
+var opByName = map[string]ir.Op{}
+
+func init() {
+	for _, op := range []ir.Op{
+		ir.OpNeg, ir.OpAbs, ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpDiv, ir.OpPow, ir.OpMod, ir.OpMin, ir.OpMax,
+	} {
+		opByName[op.String()] = op
+	}
+}
+
+// FromSym converts a symbolic jump function to portable form. It
+// returns an error on any leaf that has no portable coordinate (an
+// Unknown, or an operator outside the arithmetic set) — callers treat
+// that summary as unstorable and simply skip caching it.
+func FromSym(e sym.Expr) (Expr, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, nil
+	case *sym.Const:
+		return &Const{Val: e.Val}, nil
+	case *sym.Formal:
+		return &Formal{Index: e.Index, Name: e.Name}, nil
+	case *sym.GlobalEntry:
+		return &Global{ID: e.G.ID, Ref: e.G.String()}, nil
+	case *sym.Op:
+		name := e.Op.String()
+		if _, ok := opByName[name]; !ok {
+			return nil, fmt.Errorf("summary: operator %q is not portable", name)
+		}
+		out := &Op{Name: name, Args: make([]Expr, len(e.Args))}
+		for i, a := range e.Args {
+			pa, err := FromSym(a)
+			if err != nil {
+				return nil, err
+			}
+			if pa == nil {
+				return nil, fmt.Errorf("summary: ⊥ argument inside %q", name)
+			}
+			out.Args[i] = pa
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("summary: expression %v is not portable", e)
+}
+
+// ToSym binds a portable expression into a program: formals become
+// sym.Formal leaves (validated against nformals, the arity of the
+// procedure whose entry values the expression ranges over), globals
+// resolve by ID against prog.Globals with the Ref spelling
+// cross-checked, and operators rebuild through sym.MakeOp — which is
+// idempotent on the normalized trees the propagation stores, so the
+// bound expression is structurally identical to the one encoded.
+func ToSym(e Expr, prog *ir.Program, nformals int) (sym.Expr, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, nil
+	case *Const:
+		return sym.NewConst(e.Val), nil
+	case *Formal:
+		if e.Index < 0 || e.Index >= nformals {
+			return nil, fmt.Errorf("summary: formal index %d out of range [0,%d)", e.Index, nformals)
+		}
+		return &sym.Formal{Index: e.Index, Name: e.Name}, nil
+	case *Global:
+		if e.ID < 0 || e.ID >= len(prog.Globals) {
+			return nil, fmt.Errorf("summary: global id %d out of range", e.ID)
+		}
+		g := prog.Globals[e.ID]
+		if g.String() != e.Ref {
+			return nil, fmt.Errorf("summary: global id %d is %s, summary says %s", e.ID, g, e.Ref)
+		}
+		return &sym.GlobalEntry{G: g}, nil
+	case *Op:
+		op, ok := opByName[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("summary: unknown operator %q", e.Name)
+		}
+		args := make([]sym.Expr, len(e.Args))
+		for i, a := range e.Args {
+			sa, err := ToSym(a, prog, nformals)
+			if err != nil {
+				return nil, err
+			}
+			if sa == nil {
+				return nil, fmt.Errorf("summary: ⊥ argument inside %q", e.Name)
+			}
+			args[i] = sa
+		}
+		out := sym.MakeOp(op, args...)
+		if out == nil {
+			return nil, fmt.Errorf("summary: %q failed to rebuild", e.Name)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("summary: unknown expression variant %T", e)
+}
+
+// ---------------------------------------------------------------------------
+// Procedure summaries
+
+// GlobalExpr pairs a global coordinate with an expression (return jump
+// functions for globals; the map form of jump.Returns, flattened and
+// sorted by ID for determinism).
+type GlobalExpr struct {
+	ID  int
+	Ref string
+	E   Expr
+}
+
+// ReturnSummary is the portable form of jump.Returns: the return jump
+// functions of one procedure, over its own entry values.
+type ReturnSummary struct {
+	// Result is the function-result jump function (functions only).
+	Result Expr
+
+	// Formal[i] is the return jump function of the i-th formal.
+	Formal []Expr
+
+	// Globals holds the return jump functions of globals, sorted by ID.
+	Globals []GlobalExpr
+}
+
+// SiteSummary is the portable form of jump.Site: the forward jump
+// functions of one call site in the summarized procedure's body, over
+// the *caller's* entry values. Sites are stored in the callgraph's
+// deterministic body order, so the i-th SiteSummary binds to the i-th
+// callgraph site on reuse.
+type SiteSummary struct {
+	// Callee is the called procedure's name, cross-checked on binding.
+	Callee string
+
+	// Formal[i] is the jump function of the callee's i-th formal
+	// (nil = ⊥; array formals stay nil).
+	Formal []Expr
+
+	// Global[k] is the jump function of the program's k-th scalar
+	// global.
+	Global []Expr
+}
+
+// ProcSummary is everything the store knows about one procedure: the
+// per-procedure outputs of stages 1–2, its MOD/REF sets, and its
+// outgoing call edges.
+type ProcSummary struct {
+	// Name is the procedure name; SourceHash the normalized-source
+	// fingerprint of the unit the summary was computed from.
+	Name       string
+	SourceHash string
+
+	// Callees lists the distinct procedures this one calls, sorted.
+	Callees []string
+
+	// Returns holds the return jump functions, nil when none were built
+	// (recursive procedures, or a configuration without return JFs).
+	Returns *ReturnSummary
+
+	// Sites holds one entry per call site in body order.
+	Sites []*SiteSummary
+
+	// ModFormals/RefFormals flag the formals the procedure (transitively)
+	// may modify / reference; ModGlobals/RefGlobals list the IDs of such
+	// globals, sorted. Binding cross-checks these against a freshly
+	// computed MOD/REF summary, so a stale summary can never smuggle in
+	// wrong side-effect information.
+	ModFormals []bool
+	RefFormals []bool
+	ModGlobals []int
+	RefGlobals []int
+
+	// FormalUses[i] / GlobalUses[k] count the textual references the
+	// i-th formal's / k-th scalar global's constant entry value would
+	// substitute (GlobalUses is parallel to the program's scalar-global
+	// list, guarded by the globals-schema hash). With these cached, a
+	// run that reuses the summary counts substitutions without ever
+	// converting the procedure to SSA form.
+	FormalUses []UseCount
+	GlobalUses []UseCount
+
+	// SSAPhis is the number of phi instructions the procedure's SSA
+	// conversion inserts; a run that skips the conversion replays it so
+	// IR-size traces stay identical to a from-scratch run.
+	SSAPhis int
+}
+
+// UseCount is one variable's substitutable-reference tally: Subs total
+// references, Control of them in control-flow roles (loop bounds,
+// strides, branch conditions).
+type UseCount struct {
+	Subs    int
+	Control int
+}
+
+// SortGlobalExprs orders a GlobalExpr slice by ID (encoding requires
+// deterministic order).
+func SortGlobalExprs(gs []GlobalExpr) {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].ID < gs[j].ID })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+// ProcStamp is what a snapshot remembers about one procedure: enough to
+// decide reuse (SourceHash), locate the stored summary (Key), and
+// document the dependence edges the key covered (Callees).
+type ProcStamp struct {
+	SourceHash string
+	Key        Key
+	Callees    []string
+}
+
+// Snapshot is the per-run index of the program database: which
+// configuration and globals schema it was taken under, and the stamp of
+// every procedure. A snapshot plus the store it indexes is sufficient
+// to re-analyze an edited program incrementally.
+type Snapshot struct {
+	// ConfigKey fingerprints the analysis configuration bits summaries
+	// depend on (jump-function flavor, return JFs, MOD) plus the codec
+	// version; GlobalsHash fingerprints the COMMON-block layout.
+	ConfigKey   string
+	GlobalsHash string
+
+	// Procs maps procedure names to their stamps.
+	Procs map[string]ProcStamp
+}

@@ -273,6 +273,13 @@ type Report struct {
 	// Everything but the Nanos fields is deterministic (the determinism
 	// suite compares whole traces with Nanos normalized).
 	Passes []PassStat
+
+	// Incremental reports how an AnalyzeIncremental run split the
+	// program between reused summaries and re-analysis; nil for plain
+	// Analyze runs. It is bookkeeping about the run, not part of the
+	// analysis outcome — the incremental≡scratch determinism comparison
+	// normalizes it away like Config.Workers and the trace Nanos.
+	Incremental *IncrementalStats
 }
 
 // PassTrace renders the pass trace as an aligned per-pass table (name,

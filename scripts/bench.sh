@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmark suites and emit BENCH_ipcp.json.
+#
+# Covers the three benchmark-bearing packages:
+#   .                 end-to-end analysis, table generation, and the
+#                     scratch-vs-incremental comparison over doduc
+#   ./internal/core   solver, stage, and substitution-count benchmarks
+#   ./internal/interp the differential-oracle interpreter
+#
+# The JSON output is one object per benchmark with the package, name,
+# iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
+# flat enough for jq or a spreadsheet without a Go-bench parser.
+#
+# Usage: scripts/bench.sh [-quick]
+#   -quick runs each benchmark for 100ms instead of the 1s default,
+#   for a fast local smoke; numbers from it are noisy.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="1s"
+if [ "${1:-}" = "-quick" ]; then
+    benchtime="100ms"
+fi
+
+out="BENCH_ipcp.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for pkg in . ./internal/core ./internal/interp; do
+    echo "==> go test -bench . -benchmem -benchtime $benchtime -run '^\$' $pkg"
+    echo "PKG $pkg" >> "$raw"
+    go test -bench . -benchmem -benchtime "$benchtime" -run '^$' "$pkg" | tee -a "$raw"
+done
+
+awk -v q='"' '
+BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
+/^PKG / { pkg = $2 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {%spackage%s: %s%s%s, %sname%s: %s%s%s, %siterations%s: %s, %sns_per_op%s: %s", \
+        q, q, q, pkg, q, q, q, q, name, q, q, q, iters, q, q, ns
+    if (bytes != "") printf ", %sbytes_per_op%s: %s", q, q, bytes
+    if (allocs != "") printf ", %sallocs_per_op%s: %s", q, q, allocs
+    printf "}"
+}
+END { printf "\n]}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"

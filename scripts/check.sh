@@ -14,6 +14,8 @@
 #      show up per CI run
 #   6. a CLI smoke run of the pass-manager instrumentation
 #      (-trace-passes on a complete-propagation analysis)
+#   7. an incremental smoke run: analyze ocean twice through a disk
+#      cache; the second run must reuse every summary (100% hit rate)
 #
 # Usage: scripts/check.sh [-short]
 #   -short trims the random-program sweeps (200 -> 40 seeds) for a
@@ -49,7 +51,19 @@ echo "==> go test -race -run 'TestDeterminism' -count=2 $short ."
 go test -race -run 'TestDeterminism' -count=2 $short .
 
 echo "==> pass-trace smoke (ipcp -suite ocean -complete -trace-passes)"
-go run ./cmd/ipcp -suite ocean -complete -trace-passes | grep -q '^propagate' \
+# Capture the output first: in a `go run ... | grep -q` pipeline under
+# plain sh (no pipefail) a go run failure would be masked by grep's
+# exit status; assigning to a variable makes set -e see it.
+trace=$(go run ./cmd/ipcp -suite ocean -complete -trace-passes)
+echo "$trace" | grep -q '^propagate' \
     || { echo "pass trace missing propagate row" >&2; exit 1; }
+
+echo "==> incremental smoke (ipcp -suite ocean -cache-dir, run twice)"
+cachedir=$(mktemp -d)
+trap 'rm -rf "$cachedir"' EXIT
+go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir" > /dev/null
+warm=$(go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir")
+echo "$warm" | grep -q '100.0% hit rate' \
+    || { echo "warm incremental run did not reuse every summary:" >&2; echo "$warm" >&2; exit 1; }
 
 echo "OK"
