@@ -62,6 +62,9 @@ func main() {
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist summaries and a snapshot under this directory and re-analyze incrementally")
 	baseline := flag.String("baseline", "", "warm the cache from this source file, then analyze the input incrementally")
+	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the -cache-dir (delete unreferenced summaries, enforce -cache-budget) and exit")
+	cacheBudget := flag.Int64("cache-budget", 0, "byte budget for -cache-gc (0 = delete only unreferenced summaries)")
+	serverAddr := flag.String("server", "", "route the analysis through a running ipcpd at this address instead of analyzing in-process")
 	passes := flag.Bool("passes", false, "print the pass pipeline the configuration would run, then exit")
 	tracePasses := flag.Bool("trace-passes", false, "print the per-pass execution table after analysis")
 	debug := flag.Bool("debug", false, "verify the IR between passes and fail fast naming a corrupting pass")
@@ -83,6 +86,43 @@ func main() {
 		for _, line := range ipcp.DescribePipeline(cfg) {
 			fmt.Println(line)
 		}
+		return
+	}
+
+	if *cacheGC {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "ipcp: -cache-gc requires -cache-dir")
+			os.Exit(2)
+		}
+		st, err := ipcp.CacheGC(*cacheDir, *cacheBudget)
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		fmt.Println(st)
+		return
+	}
+
+	if *serverAddr != "" {
+		if *all || *cloneFlag || *verify || *cacheDir != "" || *baseline != "" {
+			fmt.Fprintln(os.Stderr, "ipcp: -server supports the plain analysis path (-emit, -constants, -stats, -trace-passes); run -all/-clone/-verify/-cache-dir locally")
+			os.Exit(2)
+		}
+		src, name, err := cli.Source(*suiteName, *scale, flag.Args())
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		runRemote(*serverAddr, src, name, ipcp.Config{
+			Jump:                j,
+			ReturnJumpFunctions: !*noRet,
+			MOD:                 !*noMod,
+			Complete:            *complete,
+			Workers:             *workers,
+		}, remoteOpts{
+			emit:        *emit,
+			constants:   *listConstants,
+			stats:       *stats,
+			tracePasses: *tracePasses,
+		})
 		return
 	}
 
@@ -150,25 +190,7 @@ func main() {
 	} else {
 		rep = prog.Analyze(cfg)
 	}
-	fmt.Printf("%s: %s jump functions", name, j)
-	if *noRet {
-		fmt.Print(", no return JFs")
-	}
-	if *noMod {
-		fmt.Print(", no MOD")
-	}
-	if *complete {
-		fmt.Printf(", complete propagation (%d DCE rounds)", rep.DCERounds)
-	}
-	fmt.Println()
-	fmt.Printf("  interprocedural constants: %d\n", rep.TotalConstants)
-	fmt.Printf("  references substituted:    %d\n", rep.TotalSubstituted)
-	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
-		rep.SolverPasses, rep.JFEvaluations)
-	if st := rep.Incremental; st != nil {
-		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate)\n",
-			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate())
-	}
+	printSummary(name, cfg, rep)
 
 	if *tracePasses {
 		fmt.Print(rep.PassTrace())
@@ -194,18 +216,47 @@ func main() {
 	}
 
 	if *listConstants {
-		for _, p := range rep.Procedures {
-			if len(p.Constants) == 0 {
-				continue
+		printConstants(rep)
+	}
+}
+
+// printSummary prints the standard report header and totals; the
+// configuration decides which caveat suffixes appear.
+func printSummary(name string, cfg ipcp.Config, rep *ipcp.Report) {
+	fmt.Printf("%s: %s jump functions", name, cfg.Jump)
+	if !cfg.ReturnJumpFunctions {
+		fmt.Print(", no return JFs")
+	}
+	if !cfg.MOD {
+		fmt.Print(", no MOD")
+	}
+	if cfg.Complete {
+		fmt.Printf(", complete propagation (%d DCE rounds)", rep.DCERounds)
+	}
+	fmt.Println()
+	fmt.Printf("  interprocedural constants: %d\n", rep.TotalConstants)
+	fmt.Printf("  references substituted:    %d\n", rep.TotalSubstituted)
+	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
+		rep.SolverPasses, rep.JFEvaluations)
+	if st := rep.Incremental; st != nil {
+		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate)\n",
+			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate())
+	}
+}
+
+// printConstants lists every CONSTANTS(p) entry (-constants).
+func printConstants(rep *ipcp.Report) {
+	for _, p := range rep.Procedures {
+		if len(p.Constants) == 0 {
+			continue
+		}
+		fmt.Printf("  CONSTANTS(%s):  [%d references substituted]\n", p.Name, p.Substituted)
+		for _, c := range p.Constants {
+			kind := "parameter"
+			if c.Global {
+				kind = "global"
 			}
-			fmt.Printf("  CONSTANTS(%s):  [%d references substituted]\n", p.Name, p.Substituted)
-			for _, c := range p.Constants {
-				kind := "parameter"
-				if c.Global {
-					kind = "global"
-				}
-				fmt.Printf("    %-12s = %-8d (%s)\n", c.Name, c.Value, kind)
-			}
+			fmt.Printf("    %-12s = %-8d (%s)\n", c.Name, c.Value, kind)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"ipcp"
+	"ipcp/internal/cli"
+	"ipcp/internal/server"
+	"ipcp/internal/server/client"
+)
+
+// This file is cmd/ipcp's -server mode: the same flags and output as a
+// local run, but the analysis happens in a resident ipcpd daemon whose
+// warm summary cache makes repeat runs over an edited program
+// incremental across processes.
+
+// remoteOpts are the output toggles remote mode honors.
+type remoteOpts struct {
+	emit        bool
+	constants   bool
+	stats       bool
+	tracePasses bool
+}
+
+// runRemote analyzes src via the ipcpd at addr and prints the standard
+// report. The program is named so the daemon threads successive runs
+// through one snapshot lineage.
+func runRemote(addr, src, name string, cfg ipcp.Config, opts remoteOpts) {
+	ctx := context.Background()
+	c := client.New(addr)
+
+	if opts.stats {
+		// Program characteristics are syntactic; computing them needs a
+		// parse, not an analysis, so they stay local.
+		prog, err := ipcp.Load(src)
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		st := prog.Stats()
+		fmt.Printf("%s: %d lines, %d procedures, %d call sites, %.1f mean / %.1f median lines per procedure\n",
+			name, st.Lines, st.Procedures, st.CallSites, st.MeanLinesPerProc, st.MedianLinesPerProc)
+	}
+
+	resp, err := c.Analyze(ctx, server.AnalyzeRequest{
+		Source:  src,
+		Program: name,
+		Config:  server.ConfigOf(cfg),
+	})
+	if err != nil {
+		cli.Fatal("ipcp", err)
+	}
+	rep := resp.Report
+	printSummary(name, cfg, rep)
+
+	if opts.tracePasses {
+		fmt.Print(rep.PassTrace())
+	}
+
+	if opts.emit {
+		tr, err := c.Transform(ctx, server.TransformRequest{
+			Source:  src,
+			Program: name,
+			Config:  server.ConfigOf(cfg),
+		})
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		fmt.Printf("! transformed source: %d references substituted\n%s", tr.Substituted, tr.Source)
+	}
+
+	if opts.constants {
+		printConstants(rep)
+	}
+}

@@ -1,0 +1,94 @@
+// Command ipcpd is the resident analysis server: a long-running daemon
+// that keeps the summary cache and per-program snapshots hot in memory
+// and serves interprocedural constant propagation queries over HTTP.
+//
+// Usage:
+//
+//	ipcpd [flags]
+//
+//	-addr :7117            listen address (use :0 for an ephemeral port)
+//	-workers N             concurrent analyses (0 = one per CPU)
+//	-queue N               admitted requests that may wait (0 = 4×workers)
+//	-timeout 30s           default per-request deadline
+//	-max-timeout 2m        cap on client-requested deadlines
+//	-cache-dir DIR         persist the summary cache under DIR
+//	-cache-budget BYTES    GC byte budget for the disk cache
+//	-gc-interval 10m       sweep the disk cache this often (0 = never)
+//
+// Endpoints: POST /v1/analyze, POST /v1/transform, GET /v1/matrix,
+// GET /healthz, GET /readyz, GET /metrics. See internal/server for the
+// wire protocol and DESIGN.md ("The analysis server") for the design.
+//
+// SIGINT/SIGTERM drain gracefully: readiness goes false, open requests
+// finish, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipcp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7117", "listen address")
+	workers := flag.Int("workers", 0, "concurrent analyses (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	cacheDir := flag.String("cache-dir", "", "persist the summary cache under this directory")
+	cacheBudget := flag.Int64("cache-budget", 0, "GC byte budget for the disk cache (0 = unreferenced only)")
+	gcInterval := flag.Duration("gc-interval", 0, "sweep the disk cache this often (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for open requests")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ipcpd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheDir:       *cacheDir,
+		CacheBudget:    *cacheBudget,
+		GCInterval:     *gcInterval,
+		Log:            logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The exact line scripts/check.sh and operators parse for the bound
+	// address (significant with -addr :0).
+	fmt.Printf("ipcpd: listening on %s\n", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	case s := <-sig:
+		logger.Printf("caught %s, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("drained, exiting")
+	}
+}

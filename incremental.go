@@ -1,9 +1,11 @@
 package ipcp
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"ipcp/internal/core"
 	"ipcp/internal/incr"
 	"ipcp/internal/summary"
 )
@@ -96,6 +98,28 @@ func LoadSnapshot(path string, cache *SummaryCache) (*Snapshot, error) {
 	return &Snapshot{snap: snap, cache: cache}, nil
 }
 
+// CacheGCStats reports one CacheGC sweep over a disk cache directory.
+type CacheGCStats = summary.GCStats
+
+// CacheGC garbage-collects a disk cache directory (the -cache-dir of
+// cmd/ipcp, or an ipcpd daemon's cache): summaries no snapshot
+// references are deleted, and if the referenced ones still exceed
+// budgetBytes (0 = unbounded) the coldest are deleted until they fit.
+// The live set is the union of every snapshot file saved in the
+// directory and the extra in-memory snapshots passed in (a resident
+// server passes its current ones). Collecting a live summary is always
+// sound — it merely costs a future recomputation — so CacheGC is safe
+// to run concurrently with analyses using the same directory.
+func CacheGC(dir string, budgetBytes int64, live ...*Snapshot) (CacheGCStats, error) {
+	var extra []summary.Key
+	for _, s := range live {
+		if s != nil && s.snap != nil {
+			extra = append(extra, s.snap.Keys()...)
+		}
+	}
+	return summary.GCDir(dir, extra, budgetBytes)
+}
+
 // ConfigCacheKey fingerprints the configuration bits summaries depend
 // on (jump-function flavor, return JFs, MOD, codec version) — useful
 // for naming snapshot files per configuration, as cmd/ipcp does.
@@ -142,6 +166,26 @@ func (s *IncrementalStats) HitRate() float64 {
 // cache may be nil, in which case prev's cache is used, or a fresh
 // in-memory cache when there is no prev either.
 func (p *Program) AnalyzeIncremental(cfg Config, prev *Snapshot, cache *SummaryCache) (*Report, *Snapshot) {
+	rep, snap, err := p.analyzeIncremental(cfg.internal(), cfg, prev, cache)
+	if err != nil {
+		// Only a Cancel hook can fail, and internal() never sets one.
+		panic("ipcp: AnalyzeIncremental: " + err.Error())
+	}
+	return rep, snap
+}
+
+// AnalyzeIncrementalContext is AnalyzeIncremental under a context:
+// cancellation and deadline expiry abandon the run with an error
+// wrapping ErrCanceled, leaving prev and the cache untouched (stored
+// summaries are content-addressed, so a partially warmed cache is
+// still sound).
+func (p *Program) AnalyzeIncrementalContext(ctx context.Context, cfg Config, prev *Snapshot, cache *SummaryCache) (*Report, *Snapshot, error) {
+	icfg := cfg.internal()
+	icfg.Cancel = cancelHook(ctx)
+	return p.analyzeIncremental(icfg, cfg, prev, cache)
+}
+
+func (p *Program) analyzeIncremental(icfg core.Config, cfg Config, prev *Snapshot, cache *SummaryCache) (*Report, *Snapshot, error) {
 	if cache == nil {
 		if prev != nil && prev.cache != nil {
 			cache = prev.cache
@@ -154,7 +198,10 @@ func (p *Program) AnalyzeIncremental(cfg Config, prev *Snapshot, cache *SummaryC
 		prevSnap = prev.snap
 	}
 	eng := incr.NewEngine(cache.store)
-	res, snap, st := eng.Analyze(p.sp, cfg.internal(), prevSnap)
+	res, snap, st, err := eng.Analyze(p.sp, icfg, prevSnap)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep := buildReport(cfg, res)
 	rep.Incremental = &IncrementalStats{
 		TotalProcedures: st.TotalProcs,
@@ -163,5 +210,5 @@ func (p *Program) AnalyzeIncremental(cfg Config, prev *Snapshot, cache *SummaryC
 		CacheHits:       st.Hits,
 		CacheMisses:     st.Misses,
 	}
-	return rep, &Snapshot{snap: snap, cache: cache}
+	return rep, &Snapshot{snap: snap, cache: cache}, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"sync/atomic"
 
@@ -67,6 +68,13 @@ type Config struct {
 	// Debug makes the pass runner verify the IR after every pass and
 	// fail fast naming the pass that corrupted it.
 	Debug bool
+
+	// Cancel, when non-nil, is polled between passes and inside the
+	// stage-3 solver loops; a non-nil return (it must wrap ErrCanceled)
+	// aborts the analysis with that error. Drivers wire request
+	// deadlines through it — see AnalyzeErr. The zero value is an
+	// uncancellable run with no polling overhead.
+	Cancel func() error
 }
 
 // NamedConstant is one (name, value) member of a CONSTANTS(p) set.
@@ -196,10 +204,28 @@ type SiteValues struct {
 	Globals []lattice.Value
 }
 
+// ErrCanceled is the sentinel a Config.Cancel hook wraps: an analysis
+// aborted by its caller (a context deadline or cancellation), as
+// opposed to an internal invariant violation (which still panics).
+var ErrCanceled = errors.New("analysis canceled")
+
 // Analyze runs the configured interprocedural constant propagation over
 // an analyzed source program. Each invocation lowers a fresh IR, so a
 // single *sema.Program can be analyzed under many configurations.
+// cfg.Cancel must be nil — cancellable callers use AnalyzeErr.
 func Analyze(sp *sema.Program, cfg Config) *Result {
+	res, err := AnalyzeErr(sp, cfg)
+	if err != nil {
+		// Only a Cancel hook can produce an error here.
+		panic("core: Analyze with a Cancel hook: " + err.Error())
+	}
+	return res
+}
+
+// AnalyzeErr is Analyze for cancellable runs: when cfg.Cancel reports
+// cancellation mid-analysis, it returns nil and that error. With a nil
+// Cancel hook it never fails.
+func AnalyzeErr(sp *sema.Program, cfg Config) (*Result, error) {
 	return analyzeConfigured(irbuild.Build(sp), cfg.withDefaults())
 }
 
@@ -218,18 +244,23 @@ func (cfg Config) withDefaults() Config {
 // each round (the paper resets every lattice value to ⊤ and propagates
 // again from scratch on the cleaned program). cfg must already have
 // its defaults filled.
-func analyzeConfigured(irp *ir.Program, cfg Config) *Result {
+func analyzeConfigured(irp *ir.Program, cfg Config) (*Result, error) {
 	return runPlan(newPlan(cfg), pass.NewContext(irp), cfg)
 }
 
 // runPlan executes a declared plan over a prepared Context and collects
 // the result — the shared tail of the scratch and seeded entry points.
-func runPlan(pl *plan, ctx *pass.Context, cfg Config) *Result {
+// Cancellation (an error wrapping ErrCanceled, necessarily from the
+// Config.Cancel hook) is returned; any other pipeline error is an
+// invariant violation (a pass that never converges, or corrupts the IR
+// under Debug), not a user error, and panics loudly.
+func runPlan(pl *plan, ctx *pass.Context, cfg Config) (*Result, error) {
 	ctx.Debug = cfg.Debug
+	ctx.Cancel = cfg.Cancel
 	if err := pass.Run(ctx, pl.reg, pl.root); err != nil {
-		// Pipeline errors here are invariant violations (a pass that
-		// never converges, or corrupts the IR under Debug), not user
-		// errors — surface them loudly.
+		if errors.Is(err, ErrCanceled) {
+			return nil, err
+		}
 		panic("core: " + err.Error())
 	}
 	res := pl.prop.Result()
@@ -237,7 +268,7 @@ func runPlan(pl *plan, ctx *pass.Context, cfg Config) *Result {
 		res.DCERounds = pl.fix.Rounds()
 	}
 	res.Stats.Passes = ctx.PassStats()
-	return res
+	return res, nil
 }
 
 // AnalyzeMatrix analyzes one program under every configuration of the
@@ -248,11 +279,24 @@ func runPlan(pl *plan, ctx *pass.Context, cfg Config) *Result {
 // order and are identical to running Analyze per configuration — the
 // determinism tests assert it across the full config matrix.
 func AnalyzeMatrix(sp *sema.Program, cfgs []Config, workers int) []*Result {
+	out, err := AnalyzeMatrixErr(sp, cfgs, workers)
+	if err != nil {
+		panic("core: AnalyzeMatrix with a Cancel hook: " + err.Error())
+	}
+	return out
+}
+
+// AnalyzeMatrixErr is AnalyzeMatrix for cancellable runs: if any
+// configuration's Cancel hook fires, the whole matrix is abandoned and
+// the lowest-indexed error is returned (results are nil). With nil
+// Cancel hooks it never fails.
+func AnalyzeMatrixErr(sp *sema.Program, cfgs []Config, workers int) ([]*Result, error) {
 	if len(cfgs) == 0 {
-		return nil
+		return nil, nil
 	}
 	base := irbuild.Build(sp)
 	out := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
 	parallelFor(poolSize(workers), len(cfgs), func(i int) {
 		irp := base
 		if len(cfgs) > 1 {
@@ -260,9 +304,14 @@ func AnalyzeMatrix(sp *sema.Program, cfgs []Config, workers int) []*Result {
 			// after the first needs its own copy of the lowering.
 			irp = ir.CloneProgram(base, nil, nil)
 		}
-		out[i] = analyzeConfigured(irp, cfgs[i].withDefaults())
+		out[i], errs[i] = analyzeConfigured(irp, cfgs[i].withDefaults())
 	})
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // AnalyzeIR runs one propagation (never the complete-propagation
@@ -305,6 +354,10 @@ type propagation struct {
 	solverPasses atomic.Int64
 	jfEvals      atomic.Int64
 	jfShape      JFShapeStats
+
+	// cancel is the pass Context's cancellation hook (nil when the run
+	// is uncancellable); the stage-3 worklist loops poll it per item.
+	cancel func() error
 }
 
 // newPropagation assembles the per-run stage state. cg and mods are

@@ -33,8 +33,9 @@ type jfInstance struct {
 }
 
 // stage3PropagateDependence runs the dependence-driven solver. It
-// replaces stage3Propagate when Config.DependenceSolver is set.
-func (p *propagation) stage3PropagateDependence() {
+// replaces stage3Propagate when Config.DependenceSolver is set, and
+// polls the cancellation hook per work item like the simple solver.
+func (p *propagation) stage3PropagateDependence() error {
 	p.initVals()
 
 	// Build jump-function instances and the input → instances index.
@@ -110,6 +111,11 @@ func (p *propagation) stage3PropagateDependence() {
 	}
 
 	for len(work) > 0 {
+		if p.cancel != nil {
+			if err := p.cancel(); err != nil {
+				return err
+			}
+		}
 		inst := work[0]
 		work = work[1:]
 		queued[inst] = false
@@ -137,6 +143,7 @@ func (p *propagation) stage3PropagateDependence() {
 			enqueueDependents(inst.callee, -1, inst.targetGlobal)
 		}
 	}
+	return nil
 }
 
 // initVals sets up the VAL sets (shared by both solvers).

@@ -54,13 +54,22 @@ func (p *Propagate) Run(ctx *pass.Context) (bool, error) {
 		reuse = resolveSeeds(prog, ctx.CallGraph(), p.seeds)
 	}
 	pr := newPropagation(prog, p.cfg, ctx.CallGraph(), ctx.ModRef(), reuse)
+	pr.cancel = ctx.Cancel
 	pr.buildSSA()
 	pr.stage1ReturnJFs()
+	if err := ctx.Canceled(); err != nil {
+		// SSA construction already rewrote the program in place.
+		return true, err
+	}
 	pr.stage2ForwardJFs()
+	var err error
 	if p.cfg.DependenceSolver {
-		pr.stage3PropagateDependence()
+		err = pr.stage3PropagateDependence()
 	} else {
-		pr.stage3Propagate()
+		err = pr.stage3Propagate()
+	}
+	if err != nil {
+		return true, err
 	}
 	p.last = pr.stage4Record()
 	if capture {

@@ -75,8 +75,9 @@ type Summaries struct {
 // on the same program — seeds only short-circuit derivations whose
 // outcome is already known. In complete mode the seeds apply to the
 // first propagation only; the post-DCE re-propagations run fresh,
-// exactly as they do from scratch.
-func AnalyzeSeeded(irp *ir.Program, cfg Config, reuse *Reuse) (*Result, *Summaries) {
+// exactly as they do from scratch. The error is non-nil only when
+// cfg.Cancel reported cancellation mid-run.
+func AnalyzeSeeded(irp *ir.Program, cfg Config, reuse *Reuse) (*Result, *Summaries, error) {
 	cfg = cfg.withDefaults()
 	prop := NewPropagate(cfg)
 	prop.seedProg = irp
@@ -85,8 +86,11 @@ func AnalyzeSeeded(irp *ir.Program, cfg Config, reuse *Reuse) (*Result, *Summari
 		prop.seeds = reuse.Procs
 		ctx = pass.NewContextWith(irp, reuse.CG, reuse.Mods)
 	}
-	res := runPlan(newPlanWith(cfg, prop), ctx, cfg)
-	return res, prop.captured
+	res, err := runPlan(newPlanWith(cfg, prop), ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prop.captured, nil
 }
 
 // resolveSeeds binds named seeds to procedures of prog, dropping any

@@ -44,10 +44,14 @@ func (e procEnv) GlobalValue(g *ir.GlobalVar) lattice.Value {
 // This is the "simple worklist iterative scheme" the paper used; the
 // bounded lattice depth guarantees each VAL entry lowers at most twice,
 // so termination is immediate.
-func (p *propagation) stage3Propagate() {
+//
+// The loop polls the cancellation hook once per work item, so a served
+// analysis whose deadline expires abandons the solve within one
+// procedure visit.
+func (p *propagation) stage3Propagate() error {
 	p.initVals()
 	if p.prog.Main == nil {
-		return
+		return nil
 	}
 
 	// Every procedure reachable from main is visited at least once
@@ -64,6 +68,11 @@ func (p *propagation) stage3Propagate() {
 		}
 	}
 	for len(work) > 0 {
+		if p.cancel != nil {
+			if err := p.cancel(); err != nil {
+				return err
+			}
+		}
 		proc := work[0]
 		work = work[1:]
 		queued[proc] = false
@@ -112,6 +121,7 @@ func (p *propagation) stage3Propagate() {
 			}
 		}
 	}
+	return nil
 }
 
 // evalJF evaluates one jump function under the caller's VAL set. A nil

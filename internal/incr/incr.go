@@ -104,8 +104,9 @@ func ConfigKey(cfg core.Config) string {
 // for every procedure the previous snapshot proves unchanged. prev may
 // be nil (first run: everything is re-analyzed and stored). It returns
 // the analysis result — identical to core.Analyze(sp, cfg) — plus the
-// new snapshot and the run's reuse statistics.
-func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapshot) (*core.Result, *summary.Snapshot, Stats) {
+// new snapshot and the run's reuse statistics. The error is non-nil
+// only when cfg.Cancel reported cancellation mid-run.
+func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapshot) (*core.Result, *summary.Snapshot, Stats, error) {
 	fps := sp.Fingerprints()
 	globalsHash := sp.GlobalsHash()
 	cfgKey := ConfigKey(cfg)
@@ -147,7 +148,10 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 	stats.Reused = len(seeds)
 	stats.Reanalyzed = stats.TotalProcs - stats.Reused
 
-	res, sums := core.AnalyzeSeeded(irp, cfg, &core.Reuse{CG: cg, Mods: mods, Procs: seeds})
+	res, sums, err := core.AnalyzeSeeded(irp, cfg, &core.Reuse{CG: cg, Mods: mods, Procs: seeds})
+	if err != nil {
+		return nil, nil, stats, err
+	}
 
 	// Stamp the new snapshot and persist the summaries this run had to
 	// rebuild (reused ones are already stored under the same key).
@@ -172,7 +176,7 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 			_ = e.store.Put(keys[name], summary.EncodeProc(ps))
 		}
 	}
-	return res, snap, stats
+	return res, snap, stats, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -20,6 +20,14 @@ type Context struct {
 	// pass and fail fast naming the pass that corrupted it.
 	Debug bool
 
+	// Cancel, when non-nil, is polled by the runner before every
+	// non-composite pass (and by long-running passes at finer grain —
+	// the interprocedural solver checks it per work item). A non-nil
+	// return aborts the pipeline with that error; drivers wire a
+	// context.Context's deadline in through it. Nil means the run is
+	// uncancellable, which costs nothing on the hot path.
+	Cancel func() error
+
 	mu    sync.Mutex
 	prog  *ir.Program
 	cg    *callgraph.Graph
@@ -153,6 +161,9 @@ func (ctx *Context) Require(f Fact) error {
 // their members through Exec and are not themselves instrumented
 // per-member semantics aside; Fixpoint appends its own summary Stat.
 func (ctx *Context) Exec(p Pass) (bool, error) {
+	if err := ctx.Canceled(); err != nil {
+		return false, err
+	}
 	if _, ok := p.(compositePass); ok {
 		return p.Run(ctx)
 	}
@@ -177,6 +188,15 @@ func (ctx *Context) Exec(p Pass) (bool, error) {
 		}
 	}
 	return changed, nil
+}
+
+// Canceled polls the Context's cancellation hook (nil when none is
+// installed). Long-running passes call it from their inner loops.
+func (ctx *Context) Canceled() error {
+	if ctx.Cancel == nil {
+		return nil
+	}
+	return ctx.Cancel()
 }
 
 // PassStats returns the accumulated trace in execution order.

@@ -1,0 +1,25 @@
+package server
+
+// Test-only access for the external e2e suite (server_test): the
+// analysis gate that holds a leader in flight, and the coalescing
+// group's waiter count, which together make coalescing observable
+// deterministically.
+
+// SetGate installs f to run at the start of every pooled analysis job.
+// Call before serving traffic.
+func (s *Server) SetGate(f func()) { s.gate = f }
+
+// Waiters reports how many requests are currently parked behind
+// in-flight leaders, across all flight keys.
+func (s *Server) Waiters() int {
+	s.flights.mu.Lock()
+	defer s.flights.mu.Unlock()
+	n := 0
+	for _, c := range s.flights.calls {
+		n += c.waiters
+	}
+	return n
+}
+
+// QueueDepth reports the worker pool's waiting-job count.
+func (s *Server) QueueDepth() int { return s.pool.depth() }

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipcp"
+)
+
+// This file implements the server's metrics: counters, a latency
+// histogram per endpoint, and gauges, exposed in the Prometheus text
+// format at GET /metrics. Everything is hand-rolled over sync/atomic —
+// the module is dependency-free by policy — and the exposition is the
+// de-facto standard so any scraper can consume it.
+
+// latencyBounds are the histogram bucket upper bounds, in seconds.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts [len14]int64 // one per bound, plus +Inf
+	sum    float64
+	total  int64
+}
+
+const len14 = 14 // len(latencyBounds) + 1; arrays keep the zero value usable
+
+// observe records one latency.
+func (h *histogram) observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(latencyBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// endpointMetrics is one endpoint's request tally.
+type endpointMetrics struct {
+	mu      sync.Mutex
+	byCode  map[int]int64
+	latency histogram
+}
+
+func (e *endpointMetrics) record(code int, seconds float64) {
+	e.mu.Lock()
+	e.byCode[code]++
+	e.mu.Unlock()
+	e.latency.observe(seconds)
+}
+
+// metrics is the server-wide instrumentation.
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+
+	inFlight  atomic.Int64 // requests admitted and not yet answered
+	coalesced atomic.Int64 // responses served from an identical in-flight request
+	rejected  atomic.Int64 // admissions refused with 429
+	timeouts  atomic.Int64 // requests abandoned at their deadline
+	gcRuns    atomic.Int64 // cache GC sweeps
+	gcDeleted atomic.Int64 // files cache GC deleted
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{byCode: make(map[int]int64)}
+	}
+	return m
+}
+
+// record tallies one finished request.
+func (m *metrics) record(endpoint string, code int, elapsed time.Duration) {
+	if e := m.endpoints[endpoint]; e != nil {
+		e.record(code, elapsed.Seconds())
+	}
+}
+
+// write renders the exposition. The point-in-time gauges the metrics
+// struct does not own — queue depth, snapshot count, the summary
+// cache's counters — are sampled by the caller and passed in.
+func (m *metrics) write(w io.Writer, queueDepth, snapshots int, cache ipcp.CacheStats) {
+	names := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		names = append(names, ep)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP ipcpd_requests_total Served requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE ipcpd_requests_total counter\n")
+	for _, ep := range names {
+		e := m.endpoints[ep]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.byCode))
+		for c := range e.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "ipcpd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, e.byCode[c])
+		}
+		e.mu.Unlock()
+	}
+
+	fmt.Fprintf(w, "# HELP ipcpd_request_duration_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE ipcpd_request_duration_seconds histogram\n")
+	for _, ep := range names {
+		h := &m.endpoints[ep].latency
+		h.mu.Lock()
+		cum := int64(0)
+		for i, bound := range latencyBounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "ipcpd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, bound, cum)
+		}
+		fmt.Fprintf(w, "ipcpd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
+		fmt.Fprintf(w, "ipcpd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "ipcpd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+		h.mu.Unlock()
+	}
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("ipcpd_in_flight", "Requests admitted and not yet answered.", m.inFlight.Load())
+	gauge("ipcpd_queue_depth", "Admitted jobs waiting for a worker.", int64(queueDepth))
+	gauge("ipcpd_snapshots", "Resident program-lineage snapshots.", int64(snapshots))
+	counter("ipcpd_coalesced_total", "Responses served from an identical in-flight request.", m.coalesced.Load())
+	counter("ipcpd_rejected_total", "Requests refused by admission control (429).", m.rejected.Load())
+	counter("ipcpd_timeouts_total", "Requests abandoned at their deadline (504).", m.timeouts.Load())
+	counter("ipcpd_summary_cache_hits_total", "Summary-store lookups that found an entry.", cache.Hits)
+	counter("ipcpd_summary_cache_misses_total", "Summary-store lookups that found nothing.", cache.Misses)
+	counter("ipcpd_summary_cache_puts_total", "Summaries written to the store.", cache.Puts)
+	counter("ipcpd_summary_cache_evictions_total", "Summaries evicted by a bounded store.", cache.Evictions)
+	counter("ipcpd_cache_gc_runs_total", "Cache GC sweeps completed.", m.gcRuns.Load())
+	counter("ipcpd_cache_gc_deleted_total", "Files deleted by cache GC.", m.gcDeleted.Load())
+	fmt.Fprintf(w, "# HELP ipcpd_uptime_seconds Seconds since the server started.\n# TYPE ipcpd_uptime_seconds gauge\nipcpd_uptime_seconds %g\n",
+		time.Since(m.start).Seconds())
+}

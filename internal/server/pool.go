@@ -1,0 +1,77 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// This file implements the admission-controlled worker pool the server
+// executes analyses on. Admission is load shedding, not backpressure:
+// a request that cannot be queued is rejected immediately with 429 +
+// Retry-After rather than held open — under overload, fast rejection
+// keeps the served latency distribution honest and lets well-behaved
+// clients back off.
+
+// ErrBusy reports a submission rejected because the admission queue
+// was full (the HTTP layer maps it to 429 Too Many Requests).
+var ErrBusy = errors.New("server busy: admission queue full")
+
+// ErrShuttingDown reports a submission after drain began (503).
+var ErrShuttingDown = errors.New("server shutting down")
+
+// pool is a fixed-size worker pool behind a bounded admission queue.
+type pool struct {
+	mu     sync.RWMutex // guards closed vs. submit's channel send
+	closed bool
+	queue  chan func()
+	wg     sync.WaitGroup
+}
+
+// newPool starts workers goroutines draining an admission queue of
+// queueDepth waiting jobs (beyond the ones actively running).
+func newPool(workers, queueDepth int) *pool {
+	p := &pool{queue: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.queue {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// submit admits f to the queue, failing fast with ErrBusy when it is
+// full or ErrShuttingDown after drain began. It never blocks.
+func (p *pool) submit(f func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- f:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// depth reports the number of admitted jobs not yet picked up.
+func (p *pool) depth() int {
+	return len(p.queue)
+}
+
+// drain stops intake and blocks until every admitted job has run —
+// the worker-pool half of graceful shutdown. Safe to call twice.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,521 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipcp"
+	"ipcp/internal/suite"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default chosen for an interactive daemon.
+type Config struct {
+	// Workers is the number of analyses that may run concurrently
+	// (default: GOMAXPROCS). The server parallelizes across requests;
+	// each analysis runs with the pipeline workers its request asked
+	// for (default 1).
+	Workers int
+
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker (default: 4×Workers). A request arriving past the bound is
+	// rejected with 429 + Retry-After rather than queued.
+	QueueDepth int
+
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry its own (default: 30s). MaxTimeout caps what a request
+	// may ask for (default: 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// CacheDir persists the summary cache on disk, shared with every
+	// cmd/ipcp -cache-dir run pointed at the same directory. Empty
+	// keeps the cache in memory only.
+	CacheDir string
+
+	// CacheBudget is the byte budget GC sweeps the disk cache down to
+	// (0 = delete only unreferenced entries). GCInterval enables
+	// periodic sweeps (0 = only on demand via GC).
+	CacheBudget int64
+	GCInterval  time.Duration
+
+	// Log, when non-nil, receives operational messages (GC sweeps,
+	// background errors). Request serving never logs.
+	Log *log.Logger
+}
+
+// Server is the resident analysis service. Create one with New, mount
+// Handler on any mux or call Serve, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *ipcp.SummaryCache
+	pool    *pool
+	flights *flightGroup
+	metrics *metrics
+
+	// snapshots maps a lineage — configuration cache key + program
+	// name — to the snapshot its last analysis left behind, so the next
+	// request in the lineage re-analyzes only what changed.
+	mu        sync.Mutex
+	snapshots map[string]*ipcp.Snapshot
+	httpSrv   *http.Server
+
+	ready  atomic.Bool
+	gcStop chan struct{}
+	gcOnce sync.Once
+	gcDone sync.WaitGroup
+
+	// gate, when non-nil, is called by each analyze/transform job on a
+	// worker before analysis begins — a test hook that holds a leader
+	// in flight so coalescing can be observed deterministically.
+	gate func()
+}
+
+// New builds a Server (opening the disk cache if configured) and
+// starts its worker pool and, when configured, its periodic GC.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	var cache *ipcp.SummaryCache
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = ipcp.NewDiskCache(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	} else {
+		cache = ipcp.NewMemoryCache()
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     cache,
+		pool:      newPool(cfg.Workers, cfg.QueueDepth),
+		flights:   newFlightGroup(),
+		metrics:   newMetrics("analyze", "transform", "matrix"),
+		snapshots: make(map[string]*ipcp.Snapshot),
+		gcStop:    make(chan struct{}),
+	}
+	s.ready.Store(true)
+	if cfg.CacheDir != "" && cfg.GCInterval > 0 {
+		s.gcDone.Add(1)
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/transform", s.instrument("transform", s.handleTransform))
+	mux.HandleFunc("GET /v1/matrix", s.instrument("matrix", s.handleMatrix))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.write(w, s.pool.depth(), s.snapshotCount(), s.cache.Stats())
+	})
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns nil after
+// a graceful shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: readiness goes false (load balancers
+// stop sending), the HTTP server stops accepting and waits for open
+// requests up to ctx's deadline, then the worker pool finishes every
+// admitted job and the GC loop stops. Admissions racing with shutdown
+// get 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	s.pool.drain()
+	s.gcOnce.Do(func() { close(s.gcStop) })
+	s.gcDone.Wait()
+	return err
+}
+
+// GC sweeps the disk cache now (no-op without a CacheDir), pinning the
+// resident snapshots so warm lineages stay warm.
+func (s *Server) GC() (ipcp.CacheGCStats, error) {
+	if s.cfg.CacheDir == "" {
+		return ipcp.CacheGCStats{}, nil
+	}
+	s.mu.Lock()
+	live := make([]*ipcp.Snapshot, 0, len(s.snapshots))
+	for _, snap := range s.snapshots {
+		live = append(live, snap)
+	}
+	s.mu.Unlock()
+	st, err := ipcp.CacheGC(s.cfg.CacheDir, s.cfg.CacheBudget, live...)
+	if err == nil {
+		s.metrics.gcRuns.Add(1)
+		s.metrics.gcDeleted.Add(int64(st.Unreferenced + st.OverBudget))
+	}
+	return st, err
+}
+
+func (s *Server) gcLoop() {
+	defer s.gcDone.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			st, err := s.GC()
+			if err != nil {
+				s.logf("cache gc: %v", err)
+			} else {
+				s.logf("cache gc: %s", st)
+			}
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := ipcp.Load(req.Source)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	lineage := ipcp.ConfigCacheKey(cfg) + "\x00" + req.Program
+	key := "analyze\x00" + lineage + "\x00" + sourceHash(req.Source)
+	val, err, shared := s.flights.do(ctx, key, func() (any, error) {
+		return s.run(ctx, func() (any, error) {
+			return s.analyze(ctx, prog, cfg, lineage)
+		})
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	s.reply(w, AnalyzeResponse{Report: val.(*ipcp.Report), Coalesced: shared})
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	var req TransformRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := ipcp.Load(req.Source)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	lineage := ipcp.ConfigCacheKey(cfg) + "\x00" + req.Program
+	key := "transform\x00" + lineage + "\x00" + sourceHash(req.Source)
+	val, err, shared := s.flights.do(ctx, key, func() (any, error) {
+		return s.run(ctx, func() (any, error) {
+			rep, err := s.analyze(ctx, prog, cfg, lineage)
+			if err != nil {
+				return nil, err
+			}
+			src, n, err := prog.TransformedSource(rep)
+			if err != nil {
+				return nil, err
+			}
+			return &TransformResponse{Source: src, Substituted: n}, nil
+		})
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	resp := *val.(*TransformResponse)
+	resp.Coalesced = shared
+	s.reply(w, resp)
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("program")
+	scale := suite.DefaultScale
+	if v := r.URL.Query().Get("scale"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad scale %q", v))
+			return
+		}
+		scale = n
+	}
+	gen := suite.Generate(name, scale)
+	if gen == nil {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("unknown program %q (have %v)", name, suite.Names()))
+		return
+	}
+	var timeoutMS int64
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", v))
+			return
+		}
+		timeoutMS = n
+	}
+	ctx, cancel := s.deadline(r.Context(), timeoutMS)
+	defer cancel()
+
+	key := fmt.Sprintf("matrix\x00%s\x00%d", name, scale)
+	val, err, shared := s.flights.do(ctx, key, func() (any, error) {
+		return s.run(ctx, func() (any, error) {
+			prog, err := ipcp.Load(gen.Source)
+			if err != nil {
+				return nil, err
+			}
+			cfgs := ipcp.FullMatrix()
+			reports, err := prog.AnalyzeMatrixContext(ctx, cfgs, 1)
+			if err != nil {
+				return nil, err
+			}
+			resp := &MatrixResponse{Program: name, Scale: scale, Reports: reports}
+			for _, cfg := range cfgs {
+				resp.Configs = append(resp.Configs, ConfigOf(cfg))
+			}
+			return resp, nil
+		})
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	resp := *val.(*MatrixResponse)
+	resp.Coalesced = shared
+	s.reply(w, resp)
+}
+
+// analyze runs one incremental analysis inside a pool worker and
+// advances the lineage's snapshot.
+func (s *Server) analyze(ctx context.Context, prog *ipcp.Program, cfg ipcp.Config, lineage string) (*ipcp.Report, error) {
+	if s.gate != nil {
+		s.gate()
+	}
+	rep, snap, err := prog.AnalyzeIncrementalContext(ctx, cfg, s.snapshot(lineage), s.cache)
+	if err != nil {
+		return nil, err
+	}
+	s.setSnapshot(lineage, snap)
+	return rep, nil
+}
+
+// run executes fn on the worker pool, failing fast when admission is
+// refused and abandoning the wait (not the job slot: a job that loses
+// its caller aborts on its first context check) when ctx expires.
+func (s *Server) run(ctx context.Context, fn func() (any, error)) (any, error) {
+	type result struct {
+		val any
+		err error
+	}
+	resc := make(chan result, 1)
+	err := s.pool.submit(func() {
+		if err := ctx.Err(); err != nil {
+			resc <- result{nil, err}
+			return
+		}
+		v, e := fn()
+		resc <- result{v, e}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-resc:
+		return res.val, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+
+func (s *Server) snapshot(lineage string) *ipcp.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshots[lineage]
+}
+
+func (s *Server) setSnapshot(lineage string, snap *ipcp.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshots[lineage] = snap
+}
+
+func (s *Server) snapshotCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snapshots)
+}
+
+// deadline derives the request context: the request's own timeout,
+// defaulted and capped by the server's configuration.
+func (s *Server) deadline(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(parent, d)
+}
+
+func sourceHash(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// instrument wraps an endpoint with the in-flight gauge and the
+// per-endpoint request counter and latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.record(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// statusWriter remembers the status code an endpoint wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// decode reads a JSON request body (bounded at 32 MiB), answering 400
+// itself on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already partially written; nothing to mend.
+		s.logf("encode response: %v", err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// failErr maps an analysis-path error to its status: admission refusal
+// to 429 + Retry-After, shutdown to 503, deadline expiry and
+// cancellation to 504, anything else to 500.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ipcp.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		s.metrics.timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// This file implements request coalescing: identical concurrent
+// requests — same endpoint, configuration cache key, lineage, and
+// source hash — run the analysis once and share the result, the
+// serving-side form of the value-context observation that resident
+// summaries should be reused across queries, applied at whole-request
+// granularity. The implementation is a minimal singleflight (the
+// stdlib has none and the module is dependency-free by policy).
+
+// flightGroup coalesces concurrent calls by key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight leader and its waiters.
+type flightCall struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn once per key among concurrent callers. The first
+// caller (the leader) runs fn to completion — fn is expected to honor
+// the leader's own context — and every caller that arrives before it
+// finishes becomes a follower: it waits for the leader's result
+// (shared=true) or for its own ctx to expire, whichever is first. A
+// follower therefore never occupies a pool slot. Note a follower
+// inherits the leader's outcome, error included: if the leader's
+// deadline was shorter, the follower shares its timeout — identical
+// requests are assumed to carry comparable deadlines.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}
+
+// followers reports how many callers are currently waiting on the
+// in-flight call for key (0 when none is in flight) — test and
+// metrics instrumentation.
+func (g *flightGroup) followers(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

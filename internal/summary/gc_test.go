@@ -1,0 +1,127 @@
+package summary
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// gcSnapshot writes a snapshot file into dir referencing the given
+// keys, mimicking what cmd/ipcp -cache-dir leaves behind.
+func gcSnapshot(t *testing.T, dir, name string, keys ...Key) {
+	t.Helper()
+	s := &Snapshot{ConfigKey: "cfg", GlobalsHash: "g", Procs: make(map[string]ProcStamp)}
+	for i, k := range keys {
+		s.Procs[string(rune('a'+i))] = ProcStamp{SourceHash: "h", Key: k}
+	}
+	path := filepath.Join(dir, "snapshot-"+name+".snap")
+	if err := os.WriteFile(path, EncodeSnapshot(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCDirDeletesUnreferenced(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kLive := KeyOf("live")
+	kLive2 := KeyOf("live2")
+	kDead := KeyOf("dead")
+	kMem := KeyOf("in-memory")
+	for _, k := range []Key{kLive, kLive2, kDead, kMem} {
+		if err := store.Put(k, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gcSnapshot(t, dir, "one", kLive)
+	gcSnapshot(t, dir, "two", kLive2)
+
+	st, err := GCDir(dir, []Key{kMem}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned != 4 || st.Unreferenced != 1 || st.OverBudget != 0 || st.Kept != 3 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	if st.Snapshots != 2 || st.LiveKeys != 3 {
+		t.Fatalf("live-set stats wrong: %+v", st)
+	}
+	if _, ok := store.Get(kDead); ok {
+		t.Error("unreferenced entry survived GC")
+	}
+	for _, k := range []Key{kLive, kLive2, kMem} {
+		if _, ok := store.Get(k); !ok {
+			t.Errorf("live entry %s was collected", k)
+		}
+	}
+	// Snapshot files themselves are never collected.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
+	if len(snaps) != 2 {
+		t.Errorf("GC touched snapshot files: %d left", len(snaps))
+	}
+}
+
+func TestGCDirBudgetEvictsColdestFirst(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	var keys []Key
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 4; i++ {
+		k := KeyOf("entry", string(rune('0'+i)))
+		keys = append(keys, k)
+		if err := store.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes, oldest first, so eviction order is fixed.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(store.path(k), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gcSnapshot(t, dir, "all", keys...)
+
+	// Budget fits two entries: the two oldest must go, newest stay.
+	st, err := GCDir(dir, nil, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unreferenced != 0 || st.OverBudget != 2 || st.Kept != 2 || st.KeptBytes != 200 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	for i, k := range keys {
+		_, ok := store.Get(k)
+		if wantAlive := i >= 2; ok != wantAlive {
+			t.Errorf("entry %d alive=%v, want %v", i, ok, wantAlive)
+		}
+	}
+}
+
+func TestGCDirSkipsCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("entry")
+	if err := store.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-bad.snap"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := GCDir(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupt snapshot pins nothing, so the entry is unreferenced.
+	if st.Snapshots != 0 || st.Unreferenced != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}

@@ -29,6 +29,7 @@
 package ipcp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -327,6 +328,40 @@ func (r *Report) ConstantValue(procedure, name string) (int64, bool) {
 // program can be analyzed repeatedly; every run lowers a fresh IR.
 func (p *Program) Analyze(cfg Config) *Report {
 	return buildReport(cfg, core.Analyze(p.sp, cfg.internal()))
+}
+
+// ErrCanceled reports an analysis abandoned because its context was
+// canceled or its deadline expired; errors from AnalyzeContext and the
+// other context-aware entry points wrap it (and the context's own
+// error, so errors.Is also matches context.Canceled /
+// context.DeadlineExceeded).
+var ErrCanceled = core.ErrCanceled
+
+// cancelHook adapts a context to the analysis pipeline's cancellation
+// hook: polled between passes and inside the interprocedural solver's
+// worklist loop, so a canceled analysis stops within one work item.
+func cancelHook(ctx context.Context) func() error {
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("ipcp: %w: %w", ErrCanceled, err)
+		}
+		return nil
+	}
+}
+
+// AnalyzeContext is Analyze under a context: when ctx is canceled or
+// its deadline expires mid-run, the analysis is abandoned (the solver
+// polls the context per work item) and an error wrapping ErrCanceled
+// and the context's error is returned. The long-running analysis
+// server wires per-request deadlines through here.
+func (p *Program) AnalyzeContext(ctx context.Context, cfg Config) (*Report, error) {
+	icfg := cfg.internal()
+	icfg.Cancel = cancelHook(ctx)
+	res, err := core.AnalyzeErr(p.sp, icfg)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(cfg, res), nil
 }
 
 // buildReport converts a core result to the public form.

@@ -1,6 +1,10 @@
 package ipcp
 
-import "ipcp/internal/core"
+import (
+	"context"
+
+	"ipcp/internal/core"
+)
 
 // This file implements the configuration-matrix runner: the study
 // analyzes every program under 16+ configurations (4 jump-function
@@ -36,6 +40,27 @@ func (p *Program) AnalyzeMatrix(cfgs []Config, workers int) []*Report {
 // a CPU-sized configuration pool.
 func AnalyzeMatrix(p *Program, cfgs []Config) []*Report {
 	return p.AnalyzeMatrix(cfgs, 0)
+}
+
+// AnalyzeMatrixContext is AnalyzeMatrix under a context: every
+// configuration's pipeline polls ctx, and if it is canceled or times
+// out the whole matrix is abandoned with an error wrapping ErrCanceled.
+func (p *Program) AnalyzeMatrixContext(ctx context.Context, cfgs []Config, workers int) ([]*Report, error) {
+	hook := cancelHook(ctx)
+	icfgs := make([]core.Config, len(cfgs))
+	for i, c := range cfgs {
+		icfgs[i] = c.internal()
+		icfgs[i].Cancel = hook
+	}
+	results, err := core.AnalyzeMatrixErr(p.sp, icfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	reps := make([]*Report, len(results))
+	for i, res := range results {
+		reps[i] = buildReport(cfgs[i], res)
+	}
+	return reps, nil
 }
 
 // FullMatrix returns the study's full configuration matrix: every

@@ -1,15 +1,18 @@
 #!/bin/sh
 # bench.sh — run the repo's benchmark suites and emit BENCH_ipcp.json.
 #
-# Covers the three benchmark-bearing packages:
+# Covers the four benchmark-bearing packages:
 #   .                 end-to-end analysis, table generation, and the
 #                     scratch-vs-incremental comparison over doduc
 #   ./internal/core   solver, stage, and substitution-count benchmarks
 #   ./internal/interp the differential-oracle interpreter
+#   ./internal/server the analysis-server throughput benchmark, which
+#                     also reports req/s and p50/p99 request latency
 #
 # The JSON output is one object per benchmark with the package, name,
 # iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
-# flat enough for jq or a spreadsheet without a Go-bench parser.
+# plus req_per_s / p50_ns / p99_ns for the server benchmark — flat
+# enough for jq or a spreadsheet without a Go-bench parser.
 #
 # Usage: scripts/bench.sh [-quick]
 #   -quick runs each benchmark for 100ms instead of the 1s default,
@@ -28,7 +31,7 @@ out="BENCH_ipcp.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in . ./internal/core ./internal/interp; do
+for pkg in . ./internal/core ./internal/interp ./internal/server; do
     echo "==> go test -bench . -benchmem -benchtime $benchtime -run '^\$' $pkg"
     echo "PKG $pkg" >> "$raw"
     go test -bench . -benchmem -benchtime "$benchtime" -run '^$' "$pkg" | tee -a "$raw"
@@ -40,16 +43,22 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     iters = $2; ns = $3
-    bytes = ""; allocs = ""
+    bytes = ""; allocs = ""; reqs = ""; p50 = ""; p99 = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "req/s") reqs = $(i - 1)
+        if ($i == "p50-ns") p50 = $(i - 1)
+        if ($i == "p99-ns") p99 = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {%spackage%s: %s%s%s, %sname%s: %s%s%s, %siterations%s: %s, %sns_per_op%s: %s", \
         q, q, q, pkg, q, q, q, q, name, q, q, q, iters, q, q, ns
     if (bytes != "") printf ", %sbytes_per_op%s: %s", q, q, bytes
     if (allocs != "") printf ", %sallocs_per_op%s: %s", q, q, allocs
+    if (reqs != "") printf ", %sreq_per_s%s: %s", q, q, reqs
+    if (p50 != "") printf ", %sp50_ns%s: %s", q, q, p50
+    if (p99 != "") printf ", %sp99_ns%s: %s", q, q, p99
     printf "}"
 }
 END { printf "\n]}\n" }

@@ -16,6 +16,10 @@
 #      (-trace-passes on a complete-propagation analysis)
 #   7. an incremental smoke run: analyze ocean twice through a disk
 #      cache; the second run must reuse every summary (100% hit rate)
+#   8. an analysis-server smoke run: start ipcpd on an ephemeral port,
+#      analyze ocean through it twice with ipcp -server (the second
+#      run must hit the daemon's resident snapshot), then SIGTERM it
+#      and require a clean graceful drain
 #
 # Usage: scripts/check.sh [-short]
 #   -short trims the random-program sweeps (200 -> 40 seeds) for a
@@ -60,10 +64,37 @@ echo "$trace" | grep -q '^propagate' \
 
 echo "==> incremental smoke (ipcp -suite ocean -cache-dir, run twice)"
 cachedir=$(mktemp -d)
-trap 'rm -rf "$cachedir"' EXIT
+ipcpd_pid=""
+cleanup() {
+    if [ -n "$ipcpd_pid" ]; then
+        kill "$ipcpd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$cachedir"
+}
+trap cleanup EXIT
 go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir" > /dev/null
 warm=$(go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir")
 echo "$warm" | grep -q '100.0% hit rate' \
     || { echo "warm incremental run did not reuse every summary:" >&2; echo "$warm" >&2; exit 1; }
+
+echo "==> analysis-server smoke (ipcpd ephemeral port, remote analyze, graceful drain)"
+go build -o "$cachedir/ipcpd" ./cmd/ipcpd
+"$cachedir/ipcpd" -addr 127.0.0.1:0 > "$cachedir/ipcpd.log" 2>&1 &
+ipcpd_pid=$!
+addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    addr=$(sed -n 's/^ipcpd: listening on //p' "$cachedir/ipcpd.log")
+    [ -n "$addr" ] && break
+    sleep 0.25
+done
+[ -n "$addr" ] || { echo "ipcpd never reported its address:" >&2; cat "$cachedir/ipcpd.log" >&2; exit 1; }
+go run ./cmd/ipcp -server "$addr" -suite ocean > /dev/null
+served=$(go run ./cmd/ipcp -server "$addr" -suite ocean)
+echo "$served" | grep -q '100.0% hit rate' \
+    || { echo "second served run did not hit the daemon's resident snapshot:" >&2; echo "$served" >&2; exit 1; }
+kill -TERM "$ipcpd_pid"
+wait "$ipcpd_pid" \
+    || { echo "ipcpd did not drain cleanly:" >&2; cat "$cachedir/ipcpd.log" >&2; exit 1; }
+ipcpd_pid=""
 
 echo "OK"
