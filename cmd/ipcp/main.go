@@ -61,6 +61,7 @@ func main() {
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist summaries and a snapshot under this directory and re-analyze incrementally")
+	warm := flag.Bool("warm", true, "warm-start the incremental solve from the previous snapshot's fixpoint (-warm=false forces a cold solve)")
 	baseline := flag.String("baseline", "", "warm the cache from this source file, then analyze the input incrementally")
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the -cache-dir (delete unreferenced summaries, enforce -cache-budget) and exit")
 	cacheBudget := flag.Int64("cache-budget", 0, "byte budget for -cache-gc (0 = delete only unreferenced summaries)")
@@ -178,6 +179,7 @@ func main() {
 		ReturnJumpFunctions: !*noRet,
 		MOD:                 !*noMod,
 		Complete:            *complete,
+		NoWarmStart:         !*warm,
 		Workers:             *workers,
 		Debug:               *debug,
 	}
@@ -241,6 +243,12 @@ func printSummary(name string, cfg ipcp.Config, rep *ipcp.Report) {
 	if st := rep.Incremental; st != nil {
 		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate)\n",
 			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate())
+		solve := "cold"
+		if st.WarmStarted {
+			solve = "warm"
+		}
+		fmt.Printf("  re-solve:    %s, %d-procedure cone, worklist %d seeded / %d visited / %d enqueued\n",
+			solve, st.ConeProcedures, st.WorklistSeeded, st.WorklistVisited, st.WorklistEnqueued)
 	}
 }
 

@@ -50,6 +50,53 @@ func FuzzAnalyze(f *testing.F) {
 	})
 }
 
+// FuzzIncrementalEditChain drives the incremental engine — and its
+// warm-started stage-3 re-solve — through fuzzer-chosen edit chains:
+// pick a suite program and a configuration, then apply a chain of
+// literal edits, threading the snapshot from run to run. At every step
+// the warm incremental Report must be reflect.DeepEqual to a
+// from-scratch Analyze of the same source; any divergence means the
+// two-phase restart resurrected a stale lattice cell.
+//
+// Run with `go test -fuzz FuzzIncrementalEditChain -fuzztime 1m .` for
+// a session; scripts/check.sh runs a short smoke.
+func FuzzIncrementalEditChain(f *testing.F) {
+	names := suite.Names()
+	f.Add(0, 0, 1, 2, 3)
+	f.Add(3, 2, 11, 0, 7)
+	f.Add(7, 5, 5, 5, 5)
+	f.Add(10, 6, -4, 100, 13)
+	f.Fuzz(func(t *testing.T, progPick, cfgPick, e1, e2, e3 int) {
+		if progPick < 0 {
+			progPick = -progPick
+		}
+		if cfgPick < 0 {
+			cfgPick = -cfgPick
+		}
+		src := suite.Generate(names[progPick%len(names)], 1).Source
+		cfgs := incrementalConfigs()
+		cfg := cfgs[cfgPick%len(cfgs)]
+		cache := ipcp.NewMemoryCache()
+		var snap *ipcp.Snapshot
+		for _, pick := range []int{e1, e2, e3} {
+			if next, ok := editProgram(t, src, pick); ok {
+				src = next
+			}
+			prog, err := ipcp.Load(src)
+			if err != nil {
+				t.Fatalf("edited suite program no longer loads: %v\n%s", err, src)
+			}
+			warm, nextSnap := prog.AnalyzeIncremental(cfg, snap, cache)
+			scratch := prog.Analyze(cfg)
+			normalizeIncrementalReports(scratch, warm)
+			if !reflect.DeepEqual(scratch, warm) {
+				t.Fatalf("incremental report diverges from scratch under %+v\n%s", cfg, src)
+			}
+			snap = nextSnap
+		}
+	})
+}
+
 // FuzzSummaryCodec throws arbitrary bytes at the summary decoders. The
 // invariant: decoding never panics, and any value that does decode
 // survives a re-encode/re-decode round trip unchanged (what the

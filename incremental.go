@@ -140,6 +140,23 @@ type IncrementalStats struct {
 	// invalidated are never looked up.
 	CacheHits   int
 	CacheMisses int
+
+	// WarmStarted reports whether the stage-3 solve warm-started from
+	// the previous snapshot's fixpoint (false on a first run, under
+	// Config.NoWarmStart, or when the snapshot was not comparable);
+	// ConeProcedures counts the procedures it reset to their initial
+	// lattice cells — the whole program on a cold solve.
+	WarmStarted    bool
+	ConeProcedures int
+
+	// WorklistSeeded, WorklistVisited, and WorklistEnqueued are the
+	// stage-3 worklist counters: items initially scheduled, items
+	// popped over the whole solve, and items re-enqueued by lattice
+	// changes. A warm start's win shows up as WorklistVisited shrinking
+	// to the edit's cone instead of the whole program.
+	WorklistSeeded   int64
+	WorklistVisited  int64
+	WorklistEnqueued int64
 }
 
 // HitRate returns the fraction of this run's cache lookups that hit,
@@ -204,11 +221,16 @@ func (p *Program) analyzeIncremental(icfg core.Config, cfg Config, prev *Snapsho
 	}
 	rep := buildReport(cfg, res)
 	rep.Incremental = &IncrementalStats{
-		TotalProcedures: st.TotalProcs,
-		Reanalyzed:      st.Reanalyzed,
-		Reused:          st.Reused,
-		CacheHits:       st.Hits,
-		CacheMisses:     st.Misses,
+		TotalProcedures:  st.TotalProcs,
+		Reanalyzed:       st.Reanalyzed,
+		Reused:           st.Reused,
+		CacheHits:        st.Hits,
+		CacheMisses:      st.Misses,
+		WarmStarted:      st.WarmStarted,
+		ConeProcedures:   st.ConeProcs,
+		WorklistSeeded:   st.WorklistSeeded,
+		WorklistVisited:  st.WorklistVisited,
+		WorklistEnqueued: st.WorklistEnqueued,
 	}
 	return rep, &Snapshot{snap: snap, cache: cache}, nil
 }

@@ -58,6 +58,15 @@ type Config struct {
 	// changes, achieving the O(Σ cost(J)) bound of §3.1.5.
 	DependenceSolver bool
 
+	// NoWarmStart disables demand-driven re-solving in incremental
+	// runs: stage 3 always solves cold from ⊤ instead of warm-starting
+	// from the previous fixpoint. The propagation itself ignores the
+	// flag — it solves warm exactly when the incremental driver hands
+	// it a Reuse.Warm seed, which the driver only does when this is
+	// unset. Results are identical either way; only the solver effort
+	// differs.
+	NoWarmStart bool
+
 	// Workers bounds the goroutines the per-procedure stages (SSA
 	// construction, stage-1 return jump functions, stage-2 forward jump
 	// functions) fan out over. 0 means one worker per available CPU;
@@ -354,6 +363,18 @@ type propagation struct {
 	solverPasses atomic.Int64
 	jfEvals      atomic.Int64
 	jfShape      JFShapeStats
+
+	// Warm-start state (warm.go): the previous fixpoint injected for
+	// the capture run of an incremental analysis (nil = cold solve),
+	// the cached per-procedure jump-function fingerprints, and the
+	// stage-3 worklist counters the incremental driver surfaces.
+	warm        *WarmSeed
+	siteHash    map[string]string
+	seeded      int64
+	visited     atomic.Int64
+	enqueued    atomic.Int64
+	warmStarted bool
+	coneProcs   int
 
 	// cancel is the pass Context's cancellation hook (nil when the run
 	// is uncancellable); the stage-3 worklist loops poll it per item.

@@ -35,8 +35,18 @@ type jfInstance struct {
 // stage3PropagateDependence runs the dependence-driven solver. It
 // replaces stage3Propagate when Config.DependenceSolver is set, and
 // polls the cancellation hook per work item like the simple solver.
+//
+// A warm-started run (warm.go) builds the full instance and dependence
+// index exactly as a cold one — propagation must be able to reach any
+// instance — but seeds the worklist with only the instances targeting
+// a cone procedure's (reset) cells. Instances targeting warm cells are
+// never violated: the cone is closed under callees, so every caller of
+// a warm procedure is itself warm, its cells never change during the
+// solve, and the instance's contribution already sits at or above the
+// seeded fixpoint cell.
 func (p *propagation) stage3PropagateDependence() error {
 	p.initVals()
+	cone := p.warmPrep()
 
 	// Build jump-function instances and the input → instances index.
 	type inputKey struct {
@@ -93,12 +103,17 @@ func (p *propagation) stage3PropagateDependence() error {
 
 	// Seed: evaluate every instance once (callers still at ⊤ give ⊤,
 	// which meets as the identity), then re-evaluate on input changes.
-	work := make([]*jfInstance, len(instances))
-	copy(work, instances)
+	// Warm runs seed only the instances feeding reset cells.
+	work := make([]*jfInstance, 0, len(instances))
 	queued := make(map[*jfInstance]bool, len(instances))
 	for _, inst := range instances {
+		if cone != nil && !cone[inst.callee] {
+			continue
+		}
+		work = append(work, inst)
 		queued[inst] = true
 	}
+	p.seeded = int64(len(work))
 
 	enqueueDependents := func(proc *ir.Proc, formal, global int) {
 		key := inputKey{proc: proc, formal: formal, global: global}
@@ -106,6 +121,7 @@ func (p *propagation) stage3PropagateDependence() error {
 			if !queued[inst] {
 				queued[inst] = true
 				work = append(work, inst)
+				p.enqueued.Add(1)
 			}
 		}
 	}
@@ -120,6 +136,7 @@ func (p *propagation) stage3PropagateDependence() error {
 		work = work[1:]
 		queued[inst] = false
 		p.solverPasses.Add(1)
+		p.visited.Add(1)
 
 		env := procEnv{p: p, at: inst.caller}
 		v := p.evalJF(inst.expr, env)

@@ -30,6 +30,12 @@ type Propagate struct {
 	seedProg *ir.Program
 	seeds    map[string]*ProcSeed
 	captured *Summaries
+
+	// warm is the previous fixpoint for demand-driven stage-3
+	// re-solving; like the seeds, it applies only to the run over
+	// seedProg — complete-mode re-propagations over DCE-rebuilt
+	// programs solve cold, exactly as from scratch.
+	warm *WarmSeed
 }
 
 // NewPropagate builds the propagation pass for one configuration
@@ -55,6 +61,9 @@ func (p *Propagate) Run(ctx *pass.Context) (bool, error) {
 	}
 	pr := newPropagation(prog, p.cfg, ctx.CallGraph(), ctx.ModRef(), reuse)
 	pr.cancel = ctx.Cancel
+	if capture {
+		pr.warm = p.warm
+	}
 	pr.buildSSA()
 	pr.stage1ReturnJFs()
 	if err := ctx.Canceled(); err != nil {

@@ -48,11 +48,20 @@ func (e procEnv) GlobalValue(g *ir.GlobalVar) lattice.Value {
 // The loop polls the cancellation hook once per work item, so a served
 // analysis whose deadline expires abandons the solve within one
 // procedure visit.
+//
+// A warm-started run (warm.go) begins from the previous fixpoint
+// instead of ⊤ everywhere: only the re-solve cone starts at its
+// initial cells, and the initial worklist shrinks to the reachable
+// cone members plus their boundary callers — the callers outside the
+// cone whose sites must re-fire to lower the reset cells. Boundary
+// sites into warm callees re-evaluate to their previous contributions
+// and meet as no-ops.
 func (p *propagation) stage3Propagate() error {
 	p.initVals()
 	if p.prog.Main == nil {
 		return nil
 	}
+	cone := p.warmPrep()
 
 	// Every procedure reachable from main is visited at least once
 	// (its call sites must fire even when its own VAL set never
@@ -62,11 +71,16 @@ func (p *propagation) stage3Propagate() error {
 	var work []*ir.Proc
 	queued := make(map[*ir.Proc]bool, len(reach))
 	for _, proc := range p.prog.Procs {
-		if reach[proc] {
-			work = append(work, proc)
-			queued[proc] = true
+		if !reach[proc] {
+			continue
 		}
+		if cone != nil && !cone[proc] && !p.callsIntoCone(cone, proc) {
+			continue
+		}
+		work = append(work, proc)
+		queued[proc] = true
 	}
+	p.seeded = int64(len(work))
 	for len(work) > 0 {
 		if p.cancel != nil {
 			if err := p.cancel(); err != nil {
@@ -77,6 +91,7 @@ func (p *propagation) stage3Propagate() error {
 		work = work[1:]
 		queued[proc] = false
 		p.solverPasses.Add(1)
+		p.visited.Add(1)
 
 		env := procEnv{p: p, at: proc}
 		for _, b := range proc.Blocks {
@@ -117,6 +132,7 @@ func (p *propagation) stage3Propagate() error {
 				if changed && !queued[callee] {
 					queued[callee] = true
 					work = append(work, callee)
+					p.enqueued.Add(1)
 				}
 			}
 		}

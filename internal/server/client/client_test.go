@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ipcp/internal/server"
+)
+
+// These tests pin the client's error surface: every non-2xx answer
+// must come back as a *StatusError carrying the server's message and
+// backoff hint, and transport or decode failures must be wrapped
+// errors, never panics.
+
+func TestStatusErrorJSONBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"program FOO: parse error"}`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Analyze(context.Background(), server.AnalyzeRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	if se.Code != http.StatusBadRequest || se.Message != "program FOO: parse error" {
+		t.Fatalf("status error did not carry the server body: %+v", se)
+	}
+	if se.Busy() {
+		t.Fatal("400 must not report Busy")
+	}
+}
+
+func TestStatusErrorBusyRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Transform(context.Background(), server.TransformRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	if !se.Busy() {
+		t.Fatal("429 must report Busy")
+	}
+	if se.RetryAfter != 7*time.Second {
+		t.Fatalf("Retry-After not parsed: %v", se.RetryAfter)
+	}
+	if se.Message != "queue full" {
+		t.Fatalf("message: %q", se.Message)
+	}
+}
+
+func TestStatusErrorNonJSONBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+		w.Write([]byte("analysis deadline exceeded\n"))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Matrix(context.Background(), "doduc", 2)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	if se.Code != http.StatusGatewayTimeout || se.Message != "analysis deadline exceeded" {
+		t.Fatalf("plain-text error body not surfaced: %+v", se)
+	}
+	if se.RetryAfter != 0 {
+		t.Fatalf("no Retry-After header, but RetryAfter = %v", se.RetryAfter)
+	}
+}
+
+func TestStatusErrorEmptyBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	err := New(srv.URL).Ready(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StatusError, got %T: %v", err, err)
+	}
+	// With nothing else to go on, the message falls back to the status line.
+	if se.Code != http.StatusServiceUnavailable || !strings.Contains(se.Message, "503") {
+		t.Fatalf("empty-body fallback: %+v", se)
+	}
+}
+
+func TestMalformedSuccessBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"report": [this is not json`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Analyze(context.Background(), server.AnalyzeRequest{})
+	if err == nil {
+		t.Fatal("malformed 200 body must fail")
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("decode failure is not a *StatusError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "decode response") {
+		t.Fatalf("decode failure not labeled: %v", err)
+	}
+}
+
+func TestConnectionRefused(t *testing.T) {
+	// Grab a port that is certainly closed: bind, note the address, close.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := srv.Listener.Addr().String()
+	srv.Close()
+
+	_, err := New(addr).Analyze(context.Background(), server.AnalyzeRequest{})
+	if err == nil {
+		t.Fatal("connecting to a closed port must fail")
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("transport failure is not a *StatusError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "ipcpd client:") {
+		t.Fatalf("transport failure not wrapped: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := New(srv.URL).Analyze(ctx, server.AnalyzeRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context deadline error, got %v", err)
+	}
+}
+
+func TestAddressNormalization(t *testing.T) {
+	// host:port and full URLs (with or without a trailing slash) must
+	// produce the same base.
+	for _, in := range []string{"localhost:7070", "http://localhost:7070", "http://localhost:7070/"} {
+		c := New(in)
+		if c.base != "http://localhost:7070" {
+			t.Fatalf("New(%q).base = %q", in, c.base)
+		}
+	}
+}

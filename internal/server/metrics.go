@@ -61,12 +61,13 @@ type metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
 
-	inFlight  atomic.Int64 // requests admitted and not yet answered
-	coalesced atomic.Int64 // responses served from an identical in-flight request
-	rejected  atomic.Int64 // admissions refused with 429
-	timeouts  atomic.Int64 // requests abandoned at their deadline
-	gcRuns    atomic.Int64 // cache GC sweeps
-	gcDeleted atomic.Int64 // files cache GC deleted
+	inFlight    atomic.Int64 // requests admitted and not yet answered
+	coalesced   atomic.Int64 // responses served from an identical in-flight request
+	rejected    atomic.Int64 // admissions refused with 429
+	timeouts    atomic.Int64 // requests abandoned at their deadline
+	gcRuns      atomic.Int64 // cache GC sweeps
+	gcDeleted   atomic.Int64 // files cache GC deleted
+	snapEvicted atomic.Int64 // resident snapshots dropped by the LRU bound
 }
 
 func newMetrics(endpoints ...string) *metrics {
@@ -135,6 +136,7 @@ func (m *metrics) write(w io.Writer, queueDepth, snapshots int, cache ipcp.Cache
 	gauge("ipcpd_in_flight", "Requests admitted and not yet answered.", m.inFlight.Load())
 	gauge("ipcpd_queue_depth", "Admitted jobs waiting for a worker.", int64(queueDepth))
 	gauge("ipcpd_snapshots", "Resident program-lineage snapshots.", int64(snapshots))
+	counter("ipcpd_snapshot_evictions_total", "Resident snapshots dropped by the MaxSnapshots LRU bound.", m.snapEvicted.Load())
 	counter("ipcpd_coalesced_total", "Responses served from an identical in-flight request.", m.coalesced.Load())
 	counter("ipcpd_rejected_total", "Requests refused by admission control (429).", m.rejected.Load())
 	counter("ipcpd_timeouts_total", "Requests abandoned at their deadline (504).", m.timeouts.Load())

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -51,6 +52,14 @@ type Config struct {
 	CacheBudget int64
 	GCInterval  time.Duration
 
+	// MaxSnapshots bounds the resident snapshot map: the server keeps
+	// the snapshots of at most this many program lineages (default 64),
+	// evicting the least recently used past the bound. Eviction only
+	// costs the next request in that lineage a cold re-analysis — its
+	// summaries are still in the cache — so the bound is a memory
+	// ceiling, not a correctness knob.
+	MaxSnapshots int
+
 	// Log, when non-nil, receives operational messages (GC sweeps,
 	// background errors). Request serving never logs.
 	Log *log.Logger
@@ -67,9 +76,12 @@ type Server struct {
 
 	// snapshots maps a lineage — configuration cache key + program
 	// name — to the snapshot its last analysis left behind, so the next
-	// request in the lineage re-analyzes only what changed.
+	// request in the lineage re-analyzes only what changed. The map is
+	// LRU-bounded at cfg.MaxSnapshots; snapOrder keeps the recency list
+	// (front = most recently used).
 	mu        sync.Mutex
-	snapshots map[string]*ipcp.Snapshot
+	snapshots map[string]*list.Element
+	snapOrder *list.List
 	httpSrv   *http.Server
 
 	ready  atomic.Bool
@@ -98,6 +110,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 2 * time.Minute
 	}
+	if cfg.MaxSnapshots <= 0 {
+		cfg.MaxSnapshots = 64
+	}
 	var cache *ipcp.SummaryCache
 	if cfg.CacheDir != "" {
 		var err error
@@ -113,7 +128,8 @@ func New(cfg Config) (*Server, error) {
 		pool:      newPool(cfg.Workers, cfg.QueueDepth),
 		flights:   newFlightGroup(),
 		metrics:   newMetrics("analyze", "transform", "matrix"),
-		snapshots: make(map[string]*ipcp.Snapshot),
+		snapshots: make(map[string]*list.Element),
+		snapOrder: list.New(),
 		gcStop:    make(chan struct{}),
 	}
 	s.ready.Store(true)
@@ -189,8 +205,8 @@ func (s *Server) GC() (ipcp.CacheGCStats, error) {
 	}
 	s.mu.Lock()
 	live := make([]*ipcp.Snapshot, 0, len(s.snapshots))
-	for _, snap := range s.snapshots {
-		live = append(live, snap)
+	for _, el := range s.snapshots {
+		live = append(live, el.Value.(*lineageSnap).snap)
 	}
 	s.mu.Unlock()
 	st, err := ipcp.CacheGC(s.cfg.CacheDir, s.cfg.CacheBudget, live...)
@@ -414,16 +430,39 @@ func (s *Server) run(ctx context.Context, fn func() (any, error)) (any, error) {
 // ---------------------------------------------------------------------------
 // Plumbing
 
+// lineageSnap is one resident snapshot with its key, stored as a
+// snapOrder list element so eviction can find the map entry again.
+type lineageSnap struct {
+	lineage string
+	snap    *ipcp.Snapshot
+}
+
 func (s *Server) snapshot(lineage string) *ipcp.Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.snapshots[lineage]
+	el := s.snapshots[lineage]
+	if el == nil {
+		return nil
+	}
+	s.snapOrder.MoveToFront(el)
+	return el.Value.(*lineageSnap).snap
 }
 
 func (s *Server) setSnapshot(lineage string, snap *ipcp.Snapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.snapshots[lineage] = snap
+	if el := s.snapshots[lineage]; el != nil {
+		el.Value.(*lineageSnap).snap = snap
+		s.snapOrder.MoveToFront(el)
+		return
+	}
+	s.snapshots[lineage] = s.snapOrder.PushFront(&lineageSnap{lineage: lineage, snap: snap})
+	for len(s.snapshots) > s.cfg.MaxSnapshots {
+		oldest := s.snapOrder.Back()
+		delete(s.snapshots, oldest.Value.(*lineageSnap).lineage)
+		s.snapOrder.Remove(oldest)
+		s.metrics.snapEvicted.Add(1)
+	}
 }
 
 func (s *Server) snapshotCount() int {

@@ -81,6 +81,12 @@ func normalize(reps ...*ipcp.Report) {
 		}
 		r.Config.Workers = 0
 		r.Incremental = nil
+		// Served repeat requests warm-start stage 3 from the resident
+		// snapshot's fixpoint, so their solver-effort counters shrink
+		// relative to a local cold analysis; the assignment itself is
+		// identical.
+		r.SolverPasses = 0
+		r.JFEvaluations = 0
 		for i := range r.Passes {
 			r.Passes[i].Nanos = 0
 		}
@@ -161,6 +167,65 @@ func TestServerIncrementalAcrossRequests(t *testing.T) {
 	normalize(want, second.Report)
 	if !reflect.DeepEqual(second.Report, want) {
 		t.Fatal("incremental served report diverges from local Analyze")
+	}
+}
+
+// TestServerSnapshotLRU pins the resident-snapshot bound: with
+// MaxSnapshots lineages at most, a third lineage evicts the least
+// recently used one, the eviction surfaces in /metrics, and a request
+// in the evicted lineage still answers correctly — it just re-analyzes
+// cold instead of incrementally.
+func TestServerSnapshotLRU(t *testing.T) {
+	_, c := startServer(t, server.Config{Workers: 1, MaxSnapshots: 2})
+	ctx := context.Background()
+
+	sources := map[string]string{
+		"a": suite.Random(11, 4).Source,
+		"b": suite.Random(12, 4).Source,
+		"c": suite.Random(13, 4).Source,
+	}
+	for _, lineage := range []string{"a", "b", "c"} {
+		req := server.AnalyzeRequest{Source: sources[lineage], Program: lineage, Config: server.ConfigOf(e2eConfig)}
+		if _, err := c.Analyze(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "ipcpd_snapshots 2\n") {
+		t.Fatalf("snapshot gauge not capped at 2:\n%s", text)
+	}
+	if !strings.Contains(text, "ipcpd_snapshot_evictions_total 1\n") {
+		t.Fatalf("eviction counter not surfaced:\n%s", text)
+	}
+
+	// Lineage "a" was evicted: an unchanged re-request re-analyzes from
+	// scratch (its snapshot is gone; the summary cache may still help)
+	// but the report must match a local Analyze exactly.
+	rea, err := c.Analyze(ctx, server.AnalyzeRequest{Source: sources["a"], Program: "a", Config: server.ConfigOf(e2eConfig)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rea.Report.Incremental; st == nil || st.Reanalyzed != st.TotalProcedures {
+		t.Fatalf("evicted lineage should re-analyze everything, got %+v", st)
+	}
+	want := ipcp.MustLoad(sources["a"]).Analyze(e2eConfig)
+	normalize(want, rea.Report)
+	if !reflect.DeepEqual(rea.Report, want) {
+		t.Fatal("evicted-lineage report diverges from local Analyze")
+	}
+
+	// Lineage "c" is still resident: an unchanged re-request reuses
+	// every summary and visits nothing in the warm re-solve.
+	rec, err := c.Analyze(ctx, server.AnalyzeRequest{Source: sources["c"], Program: "c", Config: server.ConfigOf(e2eConfig)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rec.Report.Incremental; st == nil || st.Reanalyzed != 0 || !st.WarmStarted || st.WorklistVisited != 0 {
+		t.Fatalf("resident lineage should reuse everything warm, got %+v", st)
 	}
 }
 

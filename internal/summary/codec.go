@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -25,7 +26,9 @@ import (
 // failure is an error, never a panic.
 
 // Version is the codec version; bump on any format change.
-const Version = 1
+// Version 2 added the warm-start fields of ProcStamp (JFHash and the
+// persisted VAL-cell vectors).
+const Version = 2
 
 const magic = "IPCS"
 
@@ -87,6 +90,22 @@ func (w *writer) uses(us []UseCount) {
 	for _, u := range us {
 		w.varint(int64(u.Subs))
 		w.varint(int64(u.Control))
+	}
+}
+func (w *writer) cells(cs []ValCell) {
+	w.count(len(cs))
+	for _, c := range cs {
+		w.buf = append(w.buf, byte(c.Kind))
+		switch c.Kind {
+		case CellInt:
+			w.varint(c.Int)
+		case CellReal:
+			var fb [8]byte
+			binary.BigEndian.PutUint64(fb[:], math.Float64bits(c.Real))
+			w.buf = append(w.buf, fb[:]...)
+		case CellBool:
+			w.boolean(c.Bool)
+		}
 	}
 }
 
@@ -284,6 +303,47 @@ func (r *reader) uses() ([]UseCount, error) {
 			return nil, err
 		}
 		out[i] = UseCount{Subs: int(s), Control: int(c)}
+	}
+	return out, nil
+}
+
+func (r *reader) cells() ([]ValCell, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > r.remaining() {
+		return nil, corrupt("cell count %d exceeds %d remaining bytes", n, r.remaining())
+	}
+	out := make([]ValCell, n)
+	for i := range out {
+		tag, err := r.byteVal()
+		if err != nil {
+			return nil, err
+		}
+		if tag > byte(CellBool) {
+			return nil, corrupt("cell kind %d", tag)
+		}
+		out[i].Kind = CellKind(tag)
+		switch out[i].Kind {
+		case CellInt:
+			if out[i].Int, err = r.varint(); err != nil {
+				return nil, err
+			}
+		case CellReal:
+			if r.remaining() < 8 {
+				return nil, corrupt("truncated real cell")
+			}
+			out[i].Real = math.Float64frombits(binary.BigEndian.Uint64(r.data[r.pos:]))
+			r.pos += 8
+		case CellBool:
+			if out[i].Bool, err = r.boolean(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }
@@ -544,6 +604,12 @@ func EncodeSnapshot(s *Snapshot) []byte {
 		w.str(st.SourceHash)
 		w.bytes(st.Key[:])
 		w.strs(st.Callees)
+		w.str(st.JFHash)
+		w.boolean(st.Cells != nil)
+		if st.Cells != nil {
+			w.cells(st.Cells.Formals)
+			w.cells(st.Cells.Globals)
+		}
 	}
 	return w.seal(kindSnapshot)
 }
@@ -586,6 +652,22 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		r.pos += klen
 		if st.Callees, err = r.strs(); err != nil {
 			return nil, err
+		}
+		if st.JFHash, err = r.str(); err != nil {
+			return nil, err
+		}
+		hasCells, err := r.boolean()
+		if err != nil {
+			return nil, err
+		}
+		if hasCells {
+			st.Cells = &ValCells{}
+			if st.Cells.Formals, err = r.cells(); err != nil {
+				return nil, err
+			}
+			if st.Cells.Globals, err = r.cells(); err != nil {
+				return nil, err
+			}
 		}
 		if _, dup := s.Procs[name]; dup {
 			return nil, corrupt("duplicate procedure %q", name)

@@ -11,8 +11,10 @@
 #
 # The JSON output is one object per benchmark with the package, name,
 # iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
-# plus req_per_s / p50_ns / p99_ns for the server benchmark — flat
-# enough for jq or a spreadsheet without a Go-bench parser.
+# plus req_per_s / p50_ns / p99_ns for the server benchmark and
+# warm_worklist_visited / cold_worklist_visited for the warm-vs-cold
+# re-solve pair — flat enough for jq or a spreadsheet without a
+# Go-bench parser.
 #
 # Usage: scripts/bench.sh [-quick]
 #   -quick runs each benchmark for 100ms instead of the 1s default,
@@ -43,13 +45,15 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     iters = $2; ns = $3
-    bytes = ""; allocs = ""; reqs = ""; p50 = ""; p99 = ""
+    bytes = ""; allocs = ""; reqs = ""; p50 = ""; p99 = ""; warmv = ""; coldv = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
         if ($i == "req/s") reqs = $(i - 1)
         if ($i == "p50-ns") p50 = $(i - 1)
         if ($i == "p99-ns") p99 = $(i - 1)
+        if ($i == "warm_worklist_visited") warmv = $(i - 1)
+        if ($i == "cold_worklist_visited") coldv = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {%spackage%s: %s%s%s, %sname%s: %s%s%s, %siterations%s: %s, %sns_per_op%s: %s", \
@@ -59,6 +63,8 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
     if (reqs != "") printf ", %sreq_per_s%s: %s", q, q, reqs
     if (p50 != "") printf ", %sp50_ns%s: %s", q, q, p50
     if (p99 != "") printf ", %sp99_ns%s: %s", q, q, p99
+    if (warmv != "") printf ", %swarm_worklist_visited%s: %s", q, q, warmv
+    if (coldv != "") printf ", %scold_worklist_visited%s: %s", q, q, coldv
     printf "}"
 }
 END { printf "\n]}\n" }

@@ -20,6 +20,8 @@
 #      analyze ocean through it twice with ipcp -server (the second
 #      run must hit the daemon's resident snapshot), then SIGTERM it
 #      and require a clean graceful drain
+#   9. a short fuzz smoke of FuzzIncrementalEditChain, the
+#      warm-vs-scratch differential over fuzzer-chosen edit chains
 #
 # Usage: scripts/check.sh [-short]
 #   -short trims the random-program sweeps (200 -> 40 seeds) for a
@@ -76,6 +78,8 @@ go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir" > /dev/null
 warm=$(go run ./cmd/ipcp -suite ocean -cache-dir "$cachedir")
 echo "$warm" | grep -q '100.0% hit rate' \
     || { echo "warm incremental run did not reuse every summary:" >&2; echo "$warm" >&2; exit 1; }
+echo "$warm" | grep -q 'warm, 0-procedure cone' \
+    || { echo "unchanged re-run did not warm-start with an empty cone:" >&2; echo "$warm" >&2; exit 1; }
 
 echo "==> analysis-server smoke (ipcpd ephemeral port, remote analyze, graceful drain)"
 go build -o "$cachedir/ipcpd" ./cmd/ipcpd
@@ -96,5 +100,8 @@ kill -TERM "$ipcpd_pid"
 wait "$ipcpd_pid" \
     || { echo "ipcpd did not drain cleanly:" >&2; cat "$cachedir/ipcpd.log" >&2; exit 1; }
 ipcpd_pid=""
+
+echo "==> fuzz smoke (FuzzIncrementalEditChain, 10s)"
+go test -fuzz 'FuzzIncrementalEditChain' -fuzztime 10s -run '^$' .
 
 echo "OK"
