@@ -20,11 +20,18 @@
 //
 // The program database (incremental re-analysis):
 //
-//	-cache-dir DIR   persist summaries and a per-config snapshot under
-//	                 DIR; a second run over an edited program re-analyzes
-//	                 only the procedures the edit invalidated
-//	-baseline old.f  analyze old.f first to warm the cache, then analyze
-//	                 the input incrementally against it
+//	-cache-dir DIR     persist summaries and a per-config snapshot under
+//	                   DIR; a second run over an edited program re-analyzes
+//	                   only the procedures the edit invalidated
+//	-remote-cache URL  add a shared remote tier behind the local cache: a
+//	                   blob service speaking ipcpd's /v1/blob protocol;
+//	                   remote failures degrade to recomputation
+//	-baseline old.f    analyze old.f first to warm the cache, then analyze
+//	                   the input incrementally against it
+//
+// With -all the four flavors run through one shared cache, so flavors
+// 2–4 reuse the stage-1 summaries (return jump functions, MOD/REF,
+// use counts) flavor 1 wrote — the table's s1-hits column shows it.
 package main
 
 import (
@@ -61,6 +68,7 @@ func main() {
 	scale := flag.Int("scale", suite.DefaultScale, "generation scale for -suite")
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist summaries and a snapshot under this directory and re-analyze incrementally")
+	remoteCache := flag.String("remote-cache", "", "share summaries through a blob service at this URL (ipcpd's /v1/blob endpoint), tiered behind the local cache")
 	warm := flag.Bool("warm", true, "warm-start the incremental solve from the previous snapshot's fixpoint (-warm=false forces a cold solve)")
 	baseline := flag.String("baseline", "", "warm the cache from this source file, then analyze the input incrementally")
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the -cache-dir (delete unreferenced summaries, enforce -cache-budget) and exit")
@@ -104,8 +112,8 @@ func main() {
 	}
 
 	if *serverAddr != "" {
-		if *all || *cloneFlag || *verify || *cacheDir != "" || *baseline != "" {
-			fmt.Fprintln(os.Stderr, "ipcp: -server supports the plain analysis path (-emit, -constants, -stats, -trace-passes); run -all/-clone/-verify/-cache-dir locally")
+		if *all || *cloneFlag || *verify || *cacheDir != "" || *baseline != "" || *remoteCache != "" {
+			fmt.Fprintln(os.Stderr, "ipcp: -server supports the plain analysis path (-emit, -constants, -stats, -trace-passes); run -all/-clone/-verify/-cache-dir/-remote-cache locally")
 			os.Exit(2)
 		}
 		src, name, err := cli.Source(*suiteName, *scale, flag.Args())
@@ -149,9 +157,20 @@ func main() {
 				Workers:             *workers,
 			})
 		}
-		fmt.Printf("%-16s  %12s  %10s\n", "jump function", "substituted", "constants")
-		for i, rep := range prog.AnalyzeMatrix(cfgs, *workers) {
-			fmt.Printf("%-16s  %12d  %10d\n", cfgs[i].Jump, rep.TotalSubstituted, rep.TotalConstants)
+		// The four flavors run sequentially through one shared cache:
+		// the first flavor writes the flavor-split stage-1 records, and
+		// the s1-hits column shows the later flavors reusing them.
+		cache := openCache(*cacheDir, *remoteCache)
+		fmt.Printf("%-16s  %12s  %10s  %8s  %6s\n", "jump function", "substituted", "constants", "s1-hits", "hits")
+		for _, cfg := range cfgs {
+			rep, _ := prog.AnalyzeIncremental(cfg, nil, cache)
+			st := rep.Incremental
+			fmt.Printf("%-16s  %12d  %10d  %8d  %6d\n",
+				cfg.Jump, rep.TotalSubstituted, rep.TotalConstants, st.Stage1Hits, st.CacheHits)
+		}
+		cache.Flush()
+		if *tracePasses {
+			fmt.Println(cache.Stats())
 		}
 		return
 	}
@@ -187,8 +206,8 @@ func main() {
 		rep   *ipcp.Report
 		cache *ipcp.SummaryCache
 	)
-	if *cacheDir != "" || *baseline != "" {
-		rep, cache = analyzeIncremental(prog, cfg, *cacheDir, *baseline)
+	if *cacheDir != "" || *baseline != "" || *remoteCache != "" {
+		rep, cache = analyzeIncremental(prog, cfg, *cacheDir, *remoteCache, *baseline)
 	} else {
 		rep = prog.Analyze(cfg)
 	}
@@ -241,8 +260,8 @@ func printSummary(name string, cfg ipcp.Config, rep *ipcp.Report) {
 	fmt.Printf("  solver passes:             %d (%d jump-function evaluations)\n",
 		rep.SolverPasses, rep.JFEvaluations)
 	if st := rep.Incremental; st != nil {
-		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate)\n",
-			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate())
+		fmt.Printf("  incremental: %d/%d procedures re-analyzed, %d hits, %d misses (%.1f%% hit rate), %d stage-1 hits\n",
+			st.Reanalyzed, st.TotalProcedures, st.CacheHits, st.CacheMisses, 100*st.HitRate(), st.Stage1Hits)
 		solve := "cold"
 		if st.WarmStarted {
 			solve = "warm"
@@ -269,29 +288,42 @@ func printConstants(rep *ipcp.Report) {
 	}
 }
 
-// analyzeIncremental runs the program-database path: open the summary
-// cache (on disk under cacheDir, else in memory), seed it from the
-// previous on-disk snapshot and/or an in-process baseline analysis,
-// analyze the program incrementally, and persist the new snapshot. The
-// snapshot file is named by the configuration's cache key, so runs
-// under different flags never cross-contaminate.
-func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, baseline string) (*ipcp.Report, *ipcp.SummaryCache) {
+// openCache builds the summary cache the flags describe: a local tier
+// (on disk under cacheDir when given, else in memory) with an optional
+// shared remote tier layered behind it. Remote failures only cost
+// recomputation, never correctness.
+func openCache(cacheDir, remoteURL string) *ipcp.SummaryCache {
 	var (
-		cache *ipcp.SummaryCache
+		local *ipcp.SummaryCache
 		err   error
 	)
 	if cacheDir != "" {
-		if cache, err = ipcp.NewDiskCache(cacheDir); err != nil {
+		if local, err = ipcp.NewDiskCache(cacheDir); err != nil {
 			cli.Fatal("ipcp", err)
 		}
 	} else {
-		cache = ipcp.NewMemoryCache()
+		local = ipcp.NewMemoryCache()
 	}
+	if remoteURL == "" {
+		return local
+	}
+	return ipcp.NewTieredCache(local, ipcp.NewRemoteCache(remoteURL))
+}
+
+// analyzeIncremental runs the program-database path: open the summary
+// cache the flags describe, seed it from the previous on-disk snapshot
+// and/or an in-process baseline analysis, analyze the program
+// incrementally, and persist the new snapshot. The snapshot file is
+// named by the configuration's full (flavor) cache key, so runs under
+// different flags never cross-contaminate — stage-1 sharing across
+// flavors happens inside the cache, not through snapshots.
+func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, remoteURL, baseline string) (*ipcp.Report, *ipcp.SummaryCache) {
+	cache := openCache(cacheDir, remoteURL)
 
 	var prev *ipcp.Snapshot
 	snapPath := ""
 	if cacheDir != "" {
-		snapPath = filepath.Join(cacheDir, "snapshot-"+ipcp.ConfigCacheKey(cfg)[:16]+".snap")
+		snapPath = filepath.Join(cacheDir, "snapshot-"+ipcp.FlavorCacheKey(cfg)[:16]+".snap")
 		if s, err := ipcp.LoadSnapshot(snapPath, cache); err == nil {
 			prev = s
 		}
@@ -310,6 +342,7 @@ func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, baseline 
 			cli.Fatal("ipcp", err)
 		}
 	}
+	cache.Flush()
 	return rep, cache
 }
 

@@ -16,8 +16,9 @@
 //	-gc-interval 10m       sweep the disk cache this often (0 = never)
 //
 // Endpoints: POST /v1/analyze, POST /v1/transform, GET /v1/matrix,
-// GET /healthz, GET /readyz, GET /metrics. See internal/server for the
-// wire protocol and DESIGN.md ("The analysis server") for the design.
+// GET/PUT /v1/blob/{key} (the remote summary-cache tier), GET /healthz,
+// GET /readyz, GET /metrics. See internal/server for the wire protocol
+// and DESIGN.md ("The analysis server") for the design.
 //
 // SIGINT/SIGTERM drain gracefully: readiness goes false, open requests
 // finish, then the process exits.

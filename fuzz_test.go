@@ -106,8 +106,8 @@ func FuzzIncrementalEditChain(f *testing.F) {
 // Run with `go test -fuzz FuzzSummaryCodec -fuzztime 1m .` for a session.
 func FuzzSummaryCodec(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(summary.EncodeProc(&summary.ProcSummary{Name: "P", SourceHash: "h"}))
-	f.Add(summary.EncodeProc(&summary.ProcSummary{
+	f.Add(summary.EncodeShared(&summary.SharedSummary{Name: "P", SourceHash: "h"}))
+	f.Add(summary.EncodeShared(&summary.SharedSummary{
 		Name:       "Q",
 		SourceHash: "h2",
 		Callees:    []string{"P"},
@@ -116,28 +116,38 @@ func FuzzSummaryCodec(f *testing.F) {
 				&summary.Formal{Index: 0, Name: "N"}, &summary.Const{Val: 3}}},
 			Formal: []summary.Expr{nil},
 		},
-		Sites:      []*summary.SiteSummary{{Callee: "P", Formal: []summary.Expr{&summary.Const{Val: 1}}}},
 		ModFormals: []bool{true},
 		RefFormals: []bool{true},
 		ModGlobals: []int{0},
 		RefGlobals: []int{0, 1},
 	}))
+	f.Add(summary.EncodeFlavor(&summary.FlavorSummary{
+		Name:       "Q",
+		SourceHash: "h2",
+		Sites:      []*summary.SiteSummary{{Callee: "P", Formal: []summary.Expr{&summary.Const{Val: 1}}}},
+	}))
 	f.Add(summary.EncodeSnapshot(&summary.Snapshot{
 		ConfigKey:   "ck",
 		GlobalsHash: "gh",
 		Procs: map[string]summary.ProcStamp{
-			"P": {SourceHash: "h", Key: summary.KeyOf("proc", "P"), Callees: []string{"Q"}},
-			"Q": {SourceHash: "h2", Key: summary.KeyOf("proc", "Q")},
+			"P": {SourceHash: "h", Key: summary.KeyOf("proc", "P"), SharedKey: summary.KeyOf("proc-shared", "P"), Callees: []string{"Q"}},
+			"Q": {SourceHash: "h2", Key: summary.KeyOf("proc", "Q"), SharedKey: summary.KeyOf("proc-shared", "Q")},
 		},
 	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
 			return
 		}
-		if s, err := summary.DecodeProc(data); err == nil {
-			s2, err := summary.DecodeProc(summary.EncodeProc(s))
+		if s, err := summary.DecodeShared(data); err == nil {
+			s2, err := summary.DecodeShared(summary.EncodeShared(s))
 			if err != nil || !reflect.DeepEqual(s, s2) {
-				t.Fatalf("proc round trip broken on %x: %v", data, err)
+				t.Fatalf("shared round trip broken on %x: %v", data, err)
+			}
+		}
+		if s, err := summary.DecodeFlavor(data); err == nil {
+			s2, err := summary.DecodeFlavor(summary.EncodeFlavor(s))
+			if err != nil || !reflect.DeepEqual(s, s2) {
+				t.Fatalf("flavor round trip broken on %x: %v", data, err)
 			}
 		}
 		if s, err := summary.DecodeSnapshot(data); err == nil {

@@ -2,6 +2,7 @@ package ipcp
 
 import (
 	"context"
+	"encoding/hex"
 	"fmt"
 	"os"
 
@@ -44,25 +45,110 @@ func NewDiskCache(dir string) (*SummaryCache, error) {
 	return &SummaryCache{store: st}, nil
 }
 
+// NewRemoteCache returns a cache backed by a blob service speaking the
+// content-addressed protocol an ipcpd daemon serves at /v1/blob/ — the
+// library form of cmd/ipcp's -remote-cache. Remote failures (network
+// errors, 5xx, corrupted transfers) never fail an analysis: they count
+// into CacheStats.Errors and degrade to recomputation.
+func NewRemoteCache(baseURL string) *SummaryCache {
+	return &SummaryCache{store: summary.NewRemoteStore(baseURL)}
+}
+
+// NewTieredCache stacks caches fastest-first into one read-through
+// hierarchy — typically memory in front of disk in front of a remote.
+// Lookups probe in order and back-fill the faster tiers on a hit;
+// writes land in the first tier synchronously and drain to the rest in
+// the background (Flush waits for them). Content-addressed keys make
+// the tiers coherent by construction.
+func NewTieredCache(tiers ...*SummaryCache) *SummaryCache {
+	stores := make([]summary.Store, len(tiers))
+	for i, t := range tiers {
+		stores[i] = t.store
+	}
+	return &SummaryCache{store: summary.NewTieredStore(stores...)}
+}
+
 // CacheStats counts a cache's traffic since it was opened.
 type CacheStats struct {
-	Hits      int64 // lookups that found a summary
-	Misses    int64 // lookups that found nothing
-	Puts      int64 // summaries written
-	Evictions int64 // summaries dropped by a bounded cache
+	Hits       int64 // lookups that found a summary
+	Misses     int64 // lookups that found nothing
+	Puts       int64 // summary blobs written
+	BytesSaved int64 // bytes written by those puts
+	Evictions  int64 // summaries dropped by a bounded cache
+	Errors     int64 // I/O or remote failures, distinct from misses
+}
+
+func cacheStatsOf(s summary.StoreStats) CacheStats {
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses,
+		Puts: s.Puts, BytesSaved: s.PutBytes,
+		Evictions: s.Evictions, Errors: s.Errors,
+	}
 }
 
 // Stats returns the cache's accumulated counters.
-func (c *SummaryCache) Stats() CacheStats {
-	s := c.store.Stats()
-	return CacheStats{Hits: s.Hits, Misses: s.Misses, Puts: s.Puts, Evictions: s.Evictions}
+func (c *SummaryCache) Stats() CacheStats { return cacheStatsOf(c.store.Stats()) }
+
+// TierStats returns per-tier counters for a cache built with
+// NewTieredCache, fastest tier first; for any other cache it returns
+// the cache's own stats as a single tier.
+func (c *SummaryCache) TierStats() []CacheStats {
+	if ts, ok := c.store.(*summary.TieredStore); ok {
+		inner := ts.TierStats()
+		out := make([]CacheStats, len(inner))
+		for i, s := range inner {
+			out[i] = cacheStatsOf(s)
+		}
+		return out
+	}
+	return []CacheStats{c.Stats()}
+}
+
+// Flush blocks until pending background write-backs (a tiered cache's
+// slower tiers) have drained; on other caches it is a no-op.
+func (c *SummaryCache) Flush() {
+	if ts, ok := c.store.(*summary.TieredStore); ok {
+		ts.Flush()
+	}
 }
 
 // String renders the counters in one line (the -trace-passes cache
 // stats row).
 func (s CacheStats) String() string {
-	return fmt.Sprintf("summary cache: %d hits, %d misses, %d puts, %d evictions",
-		s.Hits, s.Misses, s.Puts, s.Evictions)
+	return fmt.Sprintf("summary cache: %d hits, %d misses, %d puts (%d bytes), %d evictions, %d errors",
+		s.Hits, s.Misses, s.Puts, s.BytesSaved, s.Evictions, s.Errors)
+}
+
+// GetBlob reads one raw blob by its 64-hex content address — the
+// serving side of the remote-cache protocol (ipcpd's blob endpoint
+// calls it). The bool reports presence; the error flags a malformed
+// key.
+func (c *SummaryCache) GetBlob(hexKey string) ([]byte, bool, error) {
+	k, err := parseBlobKey(hexKey)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := c.store.Get(k)
+	return v, ok, nil
+}
+
+// PutBlob stores one raw blob under its 64-hex content address.
+func (c *SummaryCache) PutBlob(hexKey string, data []byte) error {
+	k, err := parseBlobKey(hexKey)
+	if err != nil {
+		return err
+	}
+	return c.store.Put(k, data)
+}
+
+func parseBlobKey(hexKey string) (summary.Key, error) {
+	var k summary.Key
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil || len(raw) != len(k) {
+		return k, fmt.Errorf("ipcp: blob key must be %d hex characters", 2*len(k))
+	}
+	copy(k[:], raw)
+	return k, nil
 }
 
 // Snapshot is the index one AnalyzeIncremental run leaves behind: the
@@ -120,12 +206,26 @@ func CacheGC(dir string, budgetBytes int64, live ...*Snapshot) (CacheGCStats, er
 	return summary.GCDir(dir, extra, budgetBytes)
 }
 
-// ConfigCacheKey fingerprints the configuration bits summaries depend
-// on (jump-function flavor, return JFs, MOD, codec version) — useful
-// for naming snapshot files per configuration, as cmd/ipcp does.
-func ConfigCacheKey(cfg Config) string {
+// FlavorCacheKey fingerprints every configuration bit stored summaries
+// depend on (jump-function flavor, return JFs, MOD, codec version) —
+// useful for naming snapshot files per configuration, as cmd/ipcp
+// does. Two configs with equal FlavorCacheKey store and hit identical
+// entries at both cache layers.
+func FlavorCacheKey(cfg Config) string {
 	return incr.ConfigKey(cfg.internal())
 }
+
+// SharedCacheKey is FlavorCacheKey with the jump-function flavor left
+// out: the key prefix of the stage-1 (shared) cache layer. Two configs
+// that differ only in JumpFunctions have equal SharedCacheKey and
+// share their stage-1 summaries — return jump functions, MOD/REF sets,
+// call edges, use counts — through one cache.
+func SharedCacheKey(cfg Config) string {
+	return incr.SharedConfigKey(cfg.internal())
+}
+
+// ConfigCacheKey is the historical name of FlavorCacheKey.
+func ConfigCacheKey(cfg Config) string { return FlavorCacheKey(cfg) }
 
 // IncrementalStats describes how an incremental run split the program.
 type IncrementalStats struct {
@@ -135,11 +235,25 @@ type IncrementalStats struct {
 	Reanalyzed      int
 	Reused          int
 
-	// CacheHits and CacheMisses count this run's cache lookups — one
-	// per procedure the invalidation analysis kept. Procedures the edit
-	// invalidated are never looked up.
+	// CacheHits and CacheMisses count this run's full-record cache
+	// lookups — one per candidate procedure: every procedure the
+	// invalidation analysis kept when a comparable snapshot exists, or
+	// every procedure at all on a first run (content-addressed keys
+	// make hits from any prior run sound, so a fresh run against a
+	// warm shared cache starts at full reuse). A hit means both the
+	// stage-1 and the flavor record were present and bound, and the
+	// procedure ran on them.
 	CacheHits   int
 	CacheMisses int
+
+	// Stage1Hits and Stage1Misses count the same lookups at the shared
+	// stage-1 layer, whose keys leave the jump-function flavor out. A
+	// stage-1 hit without a full hit means another flavor's run wrote
+	// the shared record: the procedure still re-analyzes, but its
+	// return JFs/MOD/REF half is never re-stored. Stage1Hits ≥
+	// CacheHits always; the gap is the cross-flavor sharing at work.
+	Stage1Hits   int
+	Stage1Misses int
 
 	// WarmStarted reports whether the stage-3 solve warm-started from
 	// the previous snapshot's fixpoint (false on a first run, under
@@ -226,6 +340,8 @@ func (p *Program) analyzeIncremental(icfg core.Config, cfg Config, prev *Snapsho
 		Reused:           st.Reused,
 		CacheHits:        st.Hits,
 		CacheMisses:      st.Misses,
+		Stage1Hits:       st.SharedHits,
+		Stage1Misses:     st.SharedMisses,
 		WarmStarted:      st.WarmStarted,
 		ConeProcedures:   st.ConeProcs,
 		WorklistSeeded:   st.WorklistSeeded,

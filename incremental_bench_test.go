@@ -91,6 +91,49 @@ func BenchmarkResolveColdLeafEdit(b *testing.B) {
 	benchLeafEdit(b, cfg, "cold_worklist_visited")
 }
 
+// BenchmarkCrossFlavorSweep measures the cmd/ipcp -all scenario: the
+// four jump-function flavors analyzed back to back through one shared
+// cache. Beyond ns/op it reports the flavor-split payoff — the stage-1
+// hit rate over the three follow-on flavors (1.0 = every procedure's
+// config-invariant summary was reused across flavors) and the bytes
+// the shared cache stored versus four isolated, unsplit-key caches
+// (shared_cache_bytes / isolated_cache_bytes; the gap is what the key
+// split deduplicates).
+func BenchmarkCrossFlavorSweep(b *testing.B) {
+	src, _ := benchSources(b)
+	prog := ipcp.MustLoad(src)
+	var hitRate, sharedBytes, isolatedBytes float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shared := ipcp.NewMemoryCache()
+		var s1Hits, s1Lookups int
+		for fi, j := range ipcp.JumpFunctions {
+			cfg := benchCfg
+			cfg.Jump = j
+			rep, _ := prog.AnalyzeIncremental(cfg, nil, shared)
+			if fi > 0 {
+				st := rep.Incremental
+				s1Hits += st.Stage1Hits
+				s1Lookups += st.Stage1Hits + st.Stage1Misses
+			}
+		}
+		hitRate = float64(s1Hits) / float64(s1Lookups)
+		sharedBytes = float64(shared.Stats().BytesSaved)
+	}
+	b.StopTimer()
+	for _, j := range ipcp.JumpFunctions {
+		cfg := benchCfg
+		cfg.Jump = j
+		iso := ipcp.NewMemoryCache()
+		prog.AnalyzeIncremental(cfg, nil, iso)
+		isolatedBytes += float64(iso.Stats().BytesSaved)
+	}
+	b.ReportMetric(hitRate, "s1_hit_rate")
+	b.ReportMetric(sharedBytes, "shared_cache_bytes")
+	b.ReportMetric(isolatedBytes, "isolated_cache_bytes")
+}
+
 // BenchmarkAnalyzeIncrementalUnchanged is the no-op floor: fingerprint,
 // diff, bind every summary, solve.
 func BenchmarkAnalyzeIncrementalUnchanged(b *testing.B) {

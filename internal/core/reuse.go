@@ -34,15 +34,25 @@ type SeedSite struct {
 	Global []sym.Expr
 }
 
-// ProcSeed is everything stage 1 and stage 2 would compute for one
-// unchanged procedure: its return jump functions (nil when none were
-// built) and the jump functions of each call site in body order, plus
-// the cached substitution-use vectors that let stage 4 count without
-// the procedure ever being converted to SSA form.
-type ProcSeed struct {
+// SharedSeed is the stage-1 (flavor-invariant) half of a seed: the
+// procedure's return jump functions (nil when none were built) and the
+// cached substitution-use vectors that let stage 4 count without the
+// procedure ever being converted to SSA form. It mirrors
+// summary.SharedSummary — nothing in it depends on the forward
+// jump-function flavor.
+type SharedSeed struct {
 	Returns *jump.Returns
-	Sites   []*SeedSite
 	Uses    *ProcUses
+}
+
+// ProcSeed is everything stage 1 and stage 2 would compute for one
+// unchanged procedure: the shared stage-1 half plus the
+// flavor-dependent jump functions of each call site in body order. A
+// usable seed needs both halves — stage 2 replays Sites instead of
+// re-deriving, so a seed without them cannot be injected.
+type ProcSeed struct {
+	SharedSeed
+	Sites []*SeedSite
 }
 
 // Reuse is the seeded-analysis input: the pre-SSA callgraph and

@@ -24,18 +24,35 @@
 // key is H(cone(SCC(p)), hash(p), name(p)). Two runs therefore agree
 // on a key exactly when the procedure's whole derivation cone is
 // byte-identical — which makes the store safe to share across
-// divergent edit histories (snapshot branching): a stale entry is
-// simply never asked for again.
+// divergent edit histories (snapshot branching) and across processes:
+// a stale entry is simply never asked for again.
 //
-// # Invalidation rule
+// Each procedure has *two* keys, one per stored blob. The flavor key
+// folds the full configuration (ConfigKey) into the cone and addresses
+// the FlavorSummary — the stage-2 forward jump functions, which the
+// jump-function flavor shapes directly. The shared key folds in only
+// the flavor-free SharedConfigKey and addresses the SharedSummary —
+// return jump functions, MOD/REF, call edges, use vectors — which are
+// identical under every flavor because Config.Jump is consulted
+// nowhere before stage 2's filter. A polynomial run therefore hits the
+// shared entries a pass-through run wrote, re-deriving only the
+// flavor half.
+//
+// # Invalidation and lookup rule
 //
 // A procedure is re-analyzed when its own normalized source changed,
 // when the configuration or COMMON-block schema changed (everything
 // is), or when any procedure it transitively *calls* changed — i.e.
 // the changed set is closed backward over caller edges, mirroring the
 // recompilation analysis of ParaScope's program compiler. Procedures
-// outside the closure have unchanged cone keys, and only those are
-// looked up in the store.
+// outside the closure have unchanged cone keys, and those are looked
+// up in the store. When there is no comparable previous snapshot at
+// all (a first run under this configuration), *every* procedure is
+// looked up instead: the keys are complete content addresses and
+// binding re-validates against the fresh program, so a hit written by
+// another run — a different process, lineage, or flavor — is sound to
+// reuse, and that is exactly what makes a shared or remote store pay
+// off without any snapshot handoff.
 package incr
 
 import (
@@ -63,12 +80,22 @@ type Stats struct {
 	Reanalyzed int
 	Reused     int
 
-	// Hits and Misses count this run's store lookups: one lookup per
-	// procedure the invalidation rule kept, a hit when the stored
-	// summary was present and bound cleanly. (Invalidated procedures
+	// Hits and Misses count this run's full-record lookups: one per
+	// candidate procedure (every procedure the invalidation rule kept
+	// — all of them when no comparable snapshot exists), a hit when
+	// both blobs were present and bound cleanly, so the procedure ran
+	// on its seed. (With a comparable snapshot, invalidated procedures
 	// are known stale and never looked up.)
 	Hits   int
 	Misses int
+
+	// SharedHits and SharedMisses count the same lookups at the
+	// stage-1 layer: a shared hit means the flavor-free blob was
+	// present and bound — possibly written by a run under a different
+	// jump-function flavor — even when the flavor blob was not.
+	// SharedHits ≥ Hits always; the gap is the cross-flavor sharing.
+	SharedHits   int
+	SharedMisses int
 
 	// WarmStarted reports whether stage 3 warm-started from the
 	// previous fixpoint; ConeProcs counts the procedures the solve
@@ -99,17 +126,38 @@ func NewEngine(store summary.Store) *Engine {
 // Store returns the engine's summary store.
 func (e *Engine) Store() summary.Store { return e.store }
 
-// ConfigKey fingerprints the configuration bits stored summaries
+// ConfigKey fingerprints the configuration bits stored flavor records
 // depend on — the jump-function flavor, the return-JF and MOD toggles
 // — plus the codec version. Workers, Debug, the solver choice, and
 // Complete deliberately stay out: none of them change what stages 1–2
 // compute for a procedure (complete-mode re-propagations run on DCE'd
-// programs and never touch the store).
+// programs and never touch the store). Snapshots carry this full key:
+// warm-starting stage 3 from a fixpoint computed under a different
+// flavor would be unsound, so flavor comparability stays strict there.
 func ConfigKey(cfg core.Config) string {
 	return summary.KeyOf(
 		"config",
 		fmt.Sprintf("codec=%d", summary.Version),
 		fmt.Sprintf("jump=%d", int(cfg.Jump)),
+		fmt.Sprintf("ret=%t", cfg.ReturnJFs),
+		fmt.Sprintf("mod=%t", cfg.MOD),
+	).String()
+}
+
+// SharedConfigKey is ConfigKey with the jump-function flavor left out
+// — the key prefix of the stage-1 shared records. Leaving Jump out is
+// sound because the flavor is consulted exactly once, by jump.Filter
+// inside stage 2's forward-JF construction: return jump functions,
+// MOD/REF sets, call edges, use vectors, and the SSA phi count are all
+// derived before any filtering, so they coincide bit-for-bit across
+// flavors under fixed ReturnJFs/MOD toggles. The return-JF and MOD
+// toggles must stay in: the first decides whether return JFs exist at
+// all (and restricts them to constants when off), the second changes
+// the side-effect oracle everything downstream of MOD/REF sees.
+func SharedConfigKey(cfg core.Config) string {
+	return summary.KeyOf(
+		"config-shared",
+		fmt.Sprintf("codec=%d", summary.Version),
 		fmt.Sprintf("ret=%t", cfg.ReturnJFs),
 		fmt.Sprintf("mod=%t", cfg.MOD),
 	).String()
@@ -125,6 +173,7 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 	fps := sp.Fingerprints()
 	globalsHash := sp.GlobalsHash()
 	cfgKey := ConfigKey(cfg)
+	sharedCfgKey := SharedConfigKey(cfg)
 
 	// Lower once and take the whole-program views while the IR is still
 	// pre-SSA; they feed both the invalidation decision and — through
@@ -133,31 +182,42 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 	cg := callgraph.Build(irp)
 	mods := modref.Compute(irp, cg)
 
-	keys := coneKeys(cg, fps, cfgKey, globalsHash)
+	// Two key families per procedure: the flavor key addresses the
+	// stage-2 record, the shared key the flavor-free stage-1 record.
+	flavorKeys := coneKeys(cg, fps, cfgKey, globalsHash)
+	sharedKeys := coneKeys(cg, fps, sharedCfgKey, globalsHash)
 	invalid := invalidProcs(cg, fps, cfgKey, globalsHash, prev)
 
 	stats := Stats{TotalProcs: len(irp.Procs)}
 	// Fetch and bind candidate summaries in parallel: binding only reads
 	// the shared program views, and the per-procedure results land in
 	// distinct slots, so the outcome is independent of scheduling.
-	fetched := make([]*core.ProcSeed, len(irp.Procs))
+	fetched := make([]fetchResult, len(irp.Procs))
 	parallelFor(len(irp.Procs), func(i int) {
 		proc := irp.Procs[i]
 		if invalid[proc.Name] {
 			return
 		}
-		fetched[i] = e.fetch(keys[proc.Name], proc, irp, cg, mods, fps)
+		fetched[i] = e.fetch(sharedKeys[proc.Name], flavorKeys[proc.Name], proc, irp, cg, mods, fps)
 	})
 	seeds := make(map[string]*core.ProcSeed)
+	sharedHit := make(map[string]bool)
 	for i, proc := range irp.Procs {
 		if invalid[proc.Name] {
 			continue
 		}
-		if fetched[i] == nil {
+		f := fetched[i]
+		if f.sharedHit {
+			sharedHit[proc.Name] = true
+			stats.SharedHits++
+		} else {
+			stats.SharedMisses++
+		}
+		if f.seed == nil {
 			stats.Misses++
 			continue
 		}
-		seeds[proc.Name] = fetched[i]
+		seeds[proc.Name] = f.seed
 		stats.Hits++
 	}
 	stats.Reused = len(seeds)
@@ -176,8 +236,10 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 
 	// Stamp the new snapshot — including the jump-function fingerprint
 	// and final VAL cells the next run warm-starts from — and persist
-	// the summaries this run had to rebuild (reused ones are already
-	// stored under the same key).
+	// the blobs this run had to rebuild (reused ones are already stored
+	// under the same keys). A procedure whose shared blob hit but whose
+	// flavor blob missed re-persists only the flavor half: that skipped
+	// re-encoding is exactly the byte saving of the key split.
 	snap := &summary.Snapshot{
 		ConfigKey:   cfgKey,
 		GlobalsHash: globalsHash,
@@ -192,7 +254,8 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 		}
 		snap.Procs[name] = summary.ProcStamp{
 			SourceHash: fps[name],
-			Key:        keys[name],
+			Key:        flavorKeys[name],
+			SharedKey:  sharedKeys[name],
 			Callees:    calleeNames(n),
 			JFHash:     sums.SiteHash[name],
 			Cells:      cells,
@@ -200,9 +263,17 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 		if seeds[name] != nil {
 			continue
 		}
-		if ps, err := encodeProc(proc, n, irp, sums, mods, fps); err == nil {
-			// A failed Put only costs a future recomputation.
-			_ = e.store.Put(keys[name], summary.EncodeProc(ps))
+		// A failed Put only costs a future recomputation, and the two
+		// halves persist independently: a flavor blob without its shared
+		// sibling is merely unreachable (lookups probe shared-first),
+		// never wrong.
+		if !sharedHit[name] {
+			if ss, err := encodeShared(proc, n, irp, sums, mods, fps); err == nil {
+				_ = e.store.Put(sharedKeys[name], summary.EncodeShared(ss))
+			}
+		}
+		if fs, err := encodeFlavor(proc, sums, fps); err == nil {
+			_ = e.store.Put(flavorKeys[name], summary.EncodeFlavor(fs))
 		}
 	}
 	return res, snap, stats, nil
@@ -414,20 +485,23 @@ func coneKeys(cg *callgraph.Graph, fps map[string]string, cfgKey, globalsHash st
 	return keys
 }
 
-// invalidProcs returns the set of procedures that must be re-analyzed:
-// everything when there is no comparable snapshot, otherwise the
-// procedures whose normalized source changed (or are new) closed
-// backward over caller edges.
+// invalidProcs returns the set of procedures whose stored records are
+// known stale and not worth looking up: the procedures whose
+// normalized source changed (or are new) since the comparable previous
+// snapshot, closed backward over caller edges. When there is no
+// comparable snapshot the set is empty — not full: every procedure
+// becomes a lookup candidate, because the content-addressed keys plus
+// bind's re-validation make any hit sound regardless of which run
+// (process, lineage, or jump-function flavor) wrote it. A fresh run
+// against a warm shared store starts at full reuse instead of zero.
 func invalidProcs(cg *callgraph.Graph, fps map[string]string, cfgKey, globalsHash string, prev *summary.Snapshot) map[string]bool {
 	invalid := make(map[string]bool)
-	all := prev == nil || prev.ConfigKey != cfgKey || prev.GlobalsHash != globalsHash
+	if prev == nil || prev.ConfigKey != cfgKey || prev.GlobalsHash != globalsHash {
+		return invalid
+	}
 	var queue []*callgraph.Node
 	for _, n := range cg.BottomUp() {
 		name := n.Proc.Name
-		if all {
-			invalid[name] = true
-			continue
-		}
 		st, ok := prev.Procs[name]
 		if !ok || fps[name] == "" || st.SourceHash != fps[name] {
 			invalid[name] = true
@@ -463,31 +537,58 @@ func calleeNames(n *callgraph.Node) []string {
 // ---------------------------------------------------------------------------
 // Binding stored summaries into the current program
 
-// fetch looks up, decodes, and binds one stored summary; any failure
-// (absent, corrupt, or structurally incompatible) returns nil and the
-// procedure is simply re-analyzed — dropping a seed is always sound.
-func (e *Engine) fetch(key summary.Key, proc *ir.Proc, prog *ir.Program, cg *callgraph.Graph, mods *modref.Summary, fps map[string]string) *core.ProcSeed {
-	data, ok := e.store.Get(key)
-	if !ok {
-		return nil
-	}
-	ps, err := summary.DecodeProc(data)
-	if err != nil {
-		return nil
-	}
-	seed, err := bind(ps, proc, prog, cg, mods, fps)
-	if err != nil {
-		return nil
-	}
-	return seed
+// fetchResult is one candidate procedure's lookup outcome: seed is the
+// fully bound two-blob seed (nil when either half was absent or failed
+// to bind), and sharedHit records that the stage-1 blob alone was
+// present and bound — worth knowing even without a full seed, because
+// the run then skips re-persisting the shared half.
+type fetchResult struct {
+	seed      *core.ProcSeed
+	sharedHit bool
 }
 
-// bind validates a decoded summary against the current program and
-// rebinds its portable expressions to sym leaves. The MOD/REF sets are
-// cross-checked against the freshly computed summary — side-effect
-// facts always come from the current program, and a stored summary
-// that disagrees is rejected rather than trusted.
-func bind(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, cg *callgraph.Graph, mods *modref.Summary, fps map[string]string) (*core.ProcSeed, error) {
+// fetch looks up, decodes, and binds one procedure's stored record,
+// shared blob first: without a valid stage-1 half the flavor blob is
+// useless (and, since both halves persist together, never present), so
+// a shared miss skips the second probe. Any failure — absent, corrupt,
+// or structurally incompatible — degrades to re-analysis; dropping a
+// seed is always sound.
+func (e *Engine) fetch(sharedKey, flavorKey summary.Key, proc *ir.Proc, prog *ir.Program, cg *callgraph.Graph, mods *modref.Summary, fps map[string]string) fetchResult {
+	data, ok := e.store.Get(sharedKey)
+	if !ok {
+		return fetchResult{}
+	}
+	ss, err := summary.DecodeShared(data)
+	if err != nil {
+		return fetchResult{}
+	}
+	shared, err := bindShared(ss, proc, prog, cg, mods, fps)
+	if err != nil {
+		return fetchResult{}
+	}
+	res := fetchResult{sharedHit: true}
+	fdata, ok := e.store.Get(flavorKey)
+	if !ok {
+		return res
+	}
+	fs, err := summary.DecodeFlavor(fdata)
+	if err != nil {
+		return res
+	}
+	sites, err := bindFlavor(fs, proc, prog, cg, fps)
+	if err != nil {
+		return res
+	}
+	res.seed = &core.ProcSeed{SharedSeed: *shared, Sites: sites}
+	return res
+}
+
+// bindShared validates a decoded stage-1 record against the current
+// program and rebinds its portable expressions to sym leaves. The
+// MOD/REF sets are cross-checked against the freshly computed summary
+// — side-effect facts always come from the current program, and a
+// stored record that disagrees is rejected rather than trusted.
+func bindShared(ps *summary.SharedSummary, proc *ir.Proc, prog *ir.Program, cg *callgraph.Graph, mods *modref.Summary, fps map[string]string) (*core.SharedSeed, error) {
 	if ps.Name != proc.Name {
 		return nil, fmt.Errorf("incr: summary names %q, want %q", ps.Name, proc.Name)
 	}
@@ -501,9 +602,6 @@ func bind(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, cg *callgrap
 	if want := calleeNames(n); !equalStrings(ps.Callees, want) {
 		return nil, fmt.Errorf("incr: callee set mismatch for %s", proc.Name)
 	}
-	if len(ps.Sites) != len(n.Sites) {
-		return nil, fmt.Errorf("incr: %s has %d sites, summary has %d", proc.Name, len(n.Sites), len(ps.Sites))
-	}
 	if err := checkModRef(ps, proc, prog, mods); err != nil {
 		return nil, err
 	}
@@ -515,7 +613,7 @@ func bind(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, cg *callgrap
 	if ps.SSAPhis < 0 {
 		return nil, fmt.Errorf("incr: %s has negative phi count", proc.Name)
 	}
-	seed := &core.ProcSeed{Uses: &core.ProcUses{
+	seed := &core.SharedSeed{Uses: &core.ProcUses{
 		Formal: make([]core.VarUses, len(ps.FormalUses)),
 		Global: make([]core.VarUses, len(ps.GlobalUses)),
 		Phis:   ps.SSAPhis,
@@ -558,8 +656,28 @@ func bind(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, cg *callgrap
 		}
 		seed.Returns = r
 	}
-	seed.Sites = make([]*core.SeedSite, len(ps.Sites))
-	for si, ss := range ps.Sites {
+	return seed, nil
+}
+
+// bindFlavor validates a decoded stage-2 record against the current
+// program and rebinds its site jump functions.
+func bindFlavor(fs *summary.FlavorSummary, proc *ir.Proc, prog *ir.Program, cg *callgraph.Graph, fps map[string]string) ([]*core.SeedSite, error) {
+	if fs.Name != proc.Name {
+		return nil, fmt.Errorf("incr: flavor summary names %q, want %q", fs.Name, proc.Name)
+	}
+	if fs.SourceHash == "" || fs.SourceHash != fps[proc.Name] {
+		return nil, fmt.Errorf("incr: source hash mismatch for %s", proc.Name)
+	}
+	n := cg.Nodes[proc]
+	if n == nil {
+		return nil, fmt.Errorf("incr: %s missing from call graph", proc.Name)
+	}
+	if len(fs.Sites) != len(n.Sites) {
+		return nil, fmt.Errorf("incr: %s has %d sites, summary has %d", proc.Name, len(n.Sites), len(fs.Sites))
+	}
+	nformals := len(proc.Formals)
+	sites := make([]*core.SeedSite, len(fs.Sites))
+	for si, ss := range fs.Sites {
 		call := n.Sites[si]
 		if ss.Callee != call.Callee.Name {
 			return nil, fmt.Errorf("incr: %s site %d calls %s, summary says %s", proc.Name, si, call.Callee.Name, ss.Callee)
@@ -583,14 +701,14 @@ func bind(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, cg *callgrap
 				return nil, err
 			}
 		}
-		seed.Sites[si] = site
+		sites[si] = site
 	}
-	return seed, nil
+	return sites, nil
 }
 
 // checkModRef verifies the stored MOD/REF sets against the current
 // program's freshly computed summary.
-func checkModRef(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, mods *modref.Summary) error {
+func checkModRef(ps *summary.SharedSummary, proc *ir.Proc, prog *ir.Program, mods *modref.Summary) error {
 	if len(ps.ModFormals) != len(proc.Formals) || len(ps.RefFormals) != len(proc.Formals) {
 		return fmt.Errorf("incr: %s MOD/REF formal arity mismatch", proc.Name)
 	}
@@ -617,11 +735,11 @@ func checkModRef(ps *summary.ProcSummary, proc *ir.Proc, prog *ir.Program, mods 
 // ---------------------------------------------------------------------------
 // Encoding fresh summaries
 
-// encodeProc converts one procedure's extracted summaries to portable
-// form. An error (an expression with no portable spelling) means the
-// summary is unstorable; the caller skips it and the next run simply
-// recomputes.
-func encodeProc(proc *ir.Proc, n *callgraph.Node, prog *ir.Program, sums *core.Summaries, mods *modref.Summary, fps map[string]string) (*summary.ProcSummary, error) {
+// encodeShared converts one procedure's extracted stage-1 summaries to
+// portable form. An error (an expression with no portable spelling)
+// means that half is unstorable; the caller skips it and the next run
+// simply recomputes.
+func encodeShared(proc *ir.Proc, n *callgraph.Node, prog *ir.Program, sums *core.Summaries, mods *modref.Summary, fps map[string]string) (*summary.SharedSummary, error) {
 	name := proc.Name
 	if sums == nil {
 		return nil, fmt.Errorf("incr: no summaries extracted")
@@ -629,7 +747,7 @@ func encodeProc(proc *ir.Proc, n *callgraph.Node, prog *ir.Program, sums *core.S
 	if fps[name] == "" {
 		return nil, fmt.Errorf("incr: %s has no fingerprint", name)
 	}
-	ps := &summary.ProcSummary{
+	ps := &summary.SharedSummary{
 		Name:       name,
 		SourceHash: fps[name],
 		Callees:    calleeNames(n),
@@ -657,28 +775,6 @@ func encodeProc(proc *ir.Proc, n *callgraph.Node, prog *ir.Program, sums *core.S
 		}
 		summary.SortGlobalExprs(rs.Globals)
 		ps.Returns = rs
-	}
-	for _, site := range sums.Sites[name] {
-		if site == nil {
-			return nil, fmt.Errorf("incr: %s has an unextracted site", name)
-		}
-		ss := &summary.SiteSummary{
-			Callee: site.Call.Callee.Name,
-			Formal: make([]summary.Expr, len(site.Formal)),
-			Global: make([]summary.Expr, len(site.Global)),
-		}
-		var err error
-		for i, e := range site.Formal {
-			if ss.Formal[i], err = summary.FromSym(e); err != nil {
-				return nil, err
-			}
-		}
-		for k, e := range site.Global {
-			if ss.Global[k], err = summary.FromSym(e); err != nil {
-				return nil, err
-			}
-		}
-		ps.Sites = append(ps.Sites, ss)
 	}
 	ps.ModFormals = make([]bool, len(proc.Formals))
 	ps.RefFormals = make([]bool, len(proc.Formals))
@@ -708,6 +804,45 @@ func encodeProc(proc *ir.Proc, n *callgraph.Node, prog *ir.Program, sums *core.S
 	}
 	ps.SSAPhis = uses.Phis
 	return ps, nil
+}
+
+// encodeFlavor converts one procedure's extracted stage-2 site jump
+// functions to portable form, independently of the shared half.
+func encodeFlavor(proc *ir.Proc, sums *core.Summaries, fps map[string]string) (*summary.FlavorSummary, error) {
+	name := proc.Name
+	if sums == nil {
+		return nil, fmt.Errorf("incr: no summaries extracted")
+	}
+	if fps[name] == "" {
+		return nil, fmt.Errorf("incr: %s has no fingerprint", name)
+	}
+	fs := &summary.FlavorSummary{
+		Name:       name,
+		SourceHash: fps[name],
+	}
+	for _, site := range sums.Sites[name] {
+		if site == nil {
+			return nil, fmt.Errorf("incr: %s has an unextracted site", name)
+		}
+		ss := &summary.SiteSummary{
+			Callee: site.Call.Callee.Name,
+			Formal: make([]summary.Expr, len(site.Formal)),
+			Global: make([]summary.Expr, len(site.Global)),
+		}
+		var err error
+		for i, e := range site.Formal {
+			if ss.Formal[i], err = summary.FromSym(e); err != nil {
+				return nil, err
+			}
+		}
+		for k, e := range site.Global {
+			if ss.Global[k], err = summary.FromSym(e); err != nil {
+				return nil, err
+			}
+		}
+		fs.Sites = append(fs.Sites, ss)
+	}
+	return fs, nil
 }
 
 func equalStrings(a, b []string) bool {

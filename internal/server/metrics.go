@@ -143,7 +143,9 @@ func (m *metrics) write(w io.Writer, queueDepth, snapshots int, cache ipcp.Cache
 	counter("ipcpd_summary_cache_hits_total", "Summary-store lookups that found an entry.", cache.Hits)
 	counter("ipcpd_summary_cache_misses_total", "Summary-store lookups that found nothing.", cache.Misses)
 	counter("ipcpd_summary_cache_puts_total", "Summaries written to the store.", cache.Puts)
+	counter("ipcpd_summary_cache_put_bytes_total", "Bytes of summaries written to the store.", cache.BytesSaved)
 	counter("ipcpd_summary_cache_evictions_total", "Summaries evicted by a bounded store.", cache.Evictions)
+	counter("ipcpd_summary_cache_errors_total", "Summary-store operations that failed (I/O or remote faults, degraded to misses).", cache.Errors)
 	counter("ipcpd_cache_gc_runs_total", "Cache GC sweeps completed.", m.gcRuns.Load())
 	counter("ipcpd_cache_gc_deleted_total", "Files deleted by cache GC.", m.gcDeleted.Load())
 	fmt.Fprintf(w, "# HELP ipcpd_uptime_seconds Seconds since the server started.\n# TYPE ipcpd_uptime_seconds gauge\nipcpd_uptime_seconds %g\n",

@@ -8,17 +8,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ipcp"
 	"ipcp/internal/suite"
+	"ipcp/internal/summary"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -127,7 +130,7 @@ func New(cfg Config) (*Server, error) {
 		cache:     cache,
 		pool:      newPool(cfg.Workers, cfg.QueueDepth),
 		flights:   newFlightGroup(),
-		metrics:   newMetrics("analyze", "transform", "matrix"),
+		metrics:   newMetrics("analyze", "transform", "matrix", "blob"),
 		snapshots: make(map[string]*list.Element),
 		snapOrder: list.New(),
 		gcStop:    make(chan struct{}),
@@ -146,6 +149,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/transform", s.instrument("transform", s.handleTransform))
 	mux.HandleFunc("GET /v1/matrix", s.instrument("matrix", s.handleMatrix))
+	mux.HandleFunc("GET /v1/blob/{key}", s.instrument("blob", s.handleBlobGet))
+	mux.HandleFunc("PUT /v1/blob/{key}", s.instrument("blob", s.handleBlobPut))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -383,6 +388,55 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	resp := *val.(*MatrixResponse)
 	resp.Coalesced = shared
 	s.reply(w, resp)
+}
+
+// handleBlobGet serves one raw summary blob by content address — the
+// remote tier of a client's layered cache (summary.RemoteStore) reads
+// through it. The body is the blob verbatim; X-Blob-Sum carries its
+// hex sha256 so the client can detect truncation or corruption.
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok, err := s.cache.GetBlob(key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !ok {
+		http.Error(w, "blob not found", http.StatusNotFound)
+		return
+	}
+	sum := sha256.Sum256(data)
+	w.Header().Set("X-Blob-Sum", hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// handleBlobPut accepts one raw summary blob for the shared cache.
+// The key is the content address the client computed; when the
+// request carries X-Blob-Sum the body is verified against it before
+// anything is stored, so a blob truncated in transit is rejected
+// rather than cached.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body := http.MaxBytesReader(w, r.Body, summary.MaxBlobSize)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		http.Error(w, "blob too large or unreadable", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if want := r.Header.Get("X-Blob-Sum"); want != "" {
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); !strings.EqualFold(got, want) {
+			http.Error(w, "blob checksum mismatch", http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.cache.PutBlob(key, data); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // analyze runs one incremental analysis inside a pool worker and

@@ -27,15 +27,19 @@ import (
 
 // Version is the codec version; bump on any format change.
 // Version 2 added the warm-start fields of ProcStamp (JFHash and the
-// persisted VAL-cell vectors).
-const Version = 2
+// persisted VAL-cell vectors). Version 3 split the procedure record
+// into a config-invariant shared blob and a flavor blob (kindShared /
+// kindFlavor replacing the old kindProc) and added SharedKey to
+// ProcStamp.
+const Version = 3
 
 const magic = "IPCS"
 
 // Value kinds.
 const (
-	kindProc     = 1
+	kindShared   = 1
 	kindSnapshot = 2
+	kindFlavor   = 3
 )
 
 const (
@@ -454,8 +458,9 @@ func open(data []byte, kind byte) (*reader, error) {
 // ---------------------------------------------------------------------------
 // Procedure summaries
 
-// EncodeProc serializes one procedure summary.
-func EncodeProc(s *ProcSummary) []byte {
+// EncodeShared serializes the config-invariant half of one procedure's
+// record.
+func EncodeShared(s *SharedSummary) []byte {
 	w := &writer{}
 	w.str(s.Name)
 	w.str(s.SourceHash)
@@ -471,12 +476,6 @@ func EncodeProc(s *ProcSummary) []byte {
 			w.expr(ge.E)
 		}
 	}
-	w.count(len(s.Sites))
-	for _, site := range s.Sites {
-		w.str(site.Callee)
-		w.exprs(site.Formal)
-		w.exprs(site.Global)
-	}
 	w.bools(s.ModFormals)
 	w.bools(s.RefFormals)
 	w.ints(s.ModGlobals)
@@ -484,17 +483,17 @@ func EncodeProc(s *ProcSummary) []byte {
 	w.uses(s.FormalUses)
 	w.uses(s.GlobalUses)
 	w.varint(int64(s.SSAPhis))
-	return w.seal(kindProc)
+	return w.seal(kindShared)
 }
 
-// DecodeProc is the inverse of EncodeProc. It never panics: corrupted
-// input yields an error wrapping ErrCorrupt.
-func DecodeProc(data []byte) (*ProcSummary, error) {
-	r, err := open(data, kindProc)
+// DecodeShared is the inverse of EncodeShared. It never panics:
+// corrupted input yields an error wrapping ErrCorrupt.
+func DecodeShared(data []byte) (*SharedSummary, error) {
+	r, err := open(data, kindShared)
 	if err != nil {
 		return nil, err
 	}
-	s := &ProcSummary{}
+	s := &SharedSummary{}
 	if s.Name, err = r.str(); err != nil {
 		return nil, err
 	}
@@ -537,23 +536,6 @@ func DecodeProc(data []byte) (*ProcSummary, error) {
 		}
 		s.Returns = ret
 	}
-	nsites, err := r.count()
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < nsites; i++ {
-		site := &SiteSummary{}
-		if site.Callee, err = r.str(); err != nil {
-			return nil, err
-		}
-		if site.Formal, err = r.exprs(); err != nil {
-			return nil, err
-		}
-		if site.Global, err = r.exprs(); err != nil {
-			return nil, err
-		}
-		s.Sites = append(s.Sites, site)
-	}
 	if s.ModFormals, err = r.bools(); err != nil {
 		return nil, err
 	}
@@ -583,6 +565,58 @@ func DecodeProc(data []byte) (*ProcSummary, error) {
 	return s, nil
 }
 
+// EncodeFlavor serializes the flavor-dependent half of one procedure's
+// record.
+func EncodeFlavor(s *FlavorSummary) []byte {
+	w := &writer{}
+	w.str(s.Name)
+	w.str(s.SourceHash)
+	w.count(len(s.Sites))
+	for _, site := range s.Sites {
+		w.str(site.Callee)
+		w.exprs(site.Formal)
+		w.exprs(site.Global)
+	}
+	return w.seal(kindFlavor)
+}
+
+// DecodeFlavor is the inverse of EncodeFlavor; corrupted input yields
+// an error wrapping ErrCorrupt, never a panic.
+func DecodeFlavor(data []byte) (*FlavorSummary, error) {
+	r, err := open(data, kindFlavor)
+	if err != nil {
+		return nil, err
+	}
+	s := &FlavorSummary{}
+	if s.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if s.SourceHash, err = r.str(); err != nil {
+		return nil, err
+	}
+	nsites, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nsites; i++ {
+		site := &SiteSummary{}
+		if site.Callee, err = r.str(); err != nil {
+			return nil, err
+		}
+		if site.Formal, err = r.exprs(); err != nil {
+			return nil, err
+		}
+		if site.Global, err = r.exprs(); err != nil {
+			return nil, err
+		}
+		s.Sites = append(s.Sites, site)
+	}
+	if r.remaining() != 0 {
+		return nil, corrupt("%d trailing bytes", r.remaining())
+	}
+	return s, nil
+}
+
 // ---------------------------------------------------------------------------
 // Snapshots
 
@@ -603,6 +637,7 @@ func EncodeSnapshot(s *Snapshot) []byte {
 		w.str(name)
 		w.str(st.SourceHash)
 		w.bytes(st.Key[:])
+		w.bytes(st.SharedKey[:])
 		w.strs(st.Callees)
 		w.str(st.JFHash)
 		w.boolean(st.Cells != nil)
@@ -650,6 +685,15 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		}
 		copy(st.Key[:], r.data[r.pos:])
 		r.pos += klen
+		sklen, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		if sklen != len(st.SharedKey) {
+			return nil, corrupt("shared-key length %d, want %d", sklen, len(st.SharedKey))
+		}
+		copy(st.SharedKey[:], r.data[r.pos:])
+		r.pos += sklen
 		if st.Callees, err = r.strs(); err != nil {
 			return nil, err
 		}

@@ -7,11 +7,11 @@ import (
 	"testing"
 )
 
-// sampleProc exercises every field of the proc record: a full return
-// summary, multiple sites with nil (⊥) slots, nested expressions, and
-// non-empty MOD/REF vectors.
-func sampleProc() *ProcSummary {
-	return &ProcSummary{
+// sampleShared exercises every field of the config-invariant record: a
+// full return summary with nested expressions and nil (⊥) slots, and
+// non-empty MOD/REF and use vectors.
+func sampleShared() *SharedSummary {
+	return &SharedSummary{
 		Name:       "SOLVE",
 		SourceHash: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
 		Callees:    []string{"INIT", "STEP"},
@@ -23,14 +23,6 @@ func sampleProc() *ProcSummary {
 				{ID: 5, Ref: "COM.M", E: &Global{ID: 5, Ref: "COM.M"}},
 			},
 		},
-		Sites: []*SiteSummary{
-			{
-				Callee: "INIT",
-				Formal: []Expr{&Const{Val: -7}, nil},
-				Global: []Expr{&Op{Name: "*", Args: []Expr{&Const{Val: 2}, &Global{ID: 2, Ref: "COM.K"}}}},
-			},
-			{Callee: "STEP", Formal: nil, Global: []Expr{nil}},
-		},
 		ModFormals: []bool{true, false},
 		RefFormals: []bool{true, true},
 		ModGlobals: []int{2},
@@ -41,14 +33,32 @@ func sampleProc() *ProcSummary {
 	}
 }
 
+// sampleFlavor exercises the flavor-dependent record: multiple sites
+// with nil (⊥) slots and nested expressions.
+func sampleFlavor() *FlavorSummary {
+	return &FlavorSummary{
+		Name:       "SOLVE",
+		SourceHash: "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+		Sites: []*SiteSummary{
+			{
+				Callee: "INIT",
+				Formal: []Expr{&Const{Val: -7}, nil},
+				Global: []Expr{&Op{Name: "*", Args: []Expr{&Const{Val: 2}, &Global{ID: 2, Ref: "COM.K"}}}},
+			},
+			{Callee: "STEP", Formal: nil, Global: []Expr{nil}},
+		},
+	}
+}
+
 func sampleSnapshot() *Snapshot {
 	return &Snapshot{
 		ConfigKey:   KeyOf("config", "test").String(),
 		GlobalsHash: "abc123",
 		Procs: map[string]ProcStamp{
 			"SOLVE": {
-				SourceHash: "h1", Key: KeyOf("proc", "1"), Callees: []string{"INIT", "STEP"},
-				JFHash: "jf1",
+				SourceHash: "h1", Key: KeyOf("proc", "1"), SharedKey: KeyOf("proc-shared", "1"),
+				Callees: []string{"INIT", "STEP"},
+				JFHash:  "jf1",
 				Cells: &ValCells{
 					Formals: []ValCell{{Kind: CellInt, Int: 42}, {Kind: CellBottom}, {Kind: CellInt, Int: -3}},
 					Globals: []ValCell{{Kind: CellTop}, {Kind: CellReal, Real: 2.5}, {Kind: CellBool, Bool: true}, {Kind: CellInt, Int: 0}},
@@ -56,25 +66,44 @@ func sampleSnapshot() *Snapshot {
 			},
 			// A stamp without warm-start data (a run that could not
 			// persist the assignment) must round-trip as-is.
-			"INIT": {SourceHash: "h2", Key: KeyOf("proc", "2")},
+			"INIT": {SourceHash: "h2", Key: KeyOf("proc", "2"), SharedKey: KeyOf("proc-shared", "2")},
 			"STEP": {
-				SourceHash: "h3", Key: KeyOf("proc", "3"), Callees: []string{"INIT"},
-				JFHash: "jf3",
-				Cells:  &ValCells{Globals: []ValCell{{Kind: CellBottom}}},
+				SourceHash: "h3", Key: KeyOf("proc", "3"), SharedKey: KeyOf("proc-shared", "3"),
+				Callees: []string{"INIT"},
+				JFHash:  "jf3",
+				Cells:   &ValCells{Globals: []ValCell{{Kind: CellBottom}}},
 			},
 		},
 	}
 }
 
-func TestProcRoundTrip(t *testing.T) {
-	cases := []*ProcSummary{
-		sampleProc(),
+func TestSharedRoundTrip(t *testing.T) {
+	cases := []*SharedSummary{
+		sampleShared(),
 		{Name: "EMPTY", SourceHash: "h"},
 		{Name: "LEAF", SourceHash: "h", Returns: &ReturnSummary{Formal: []Expr{nil}}},
 	}
 	for _, s := range cases {
-		enc := EncodeProc(s)
-		got, err := DecodeProc(enc)
+		enc := EncodeShared(s)
+		got, err := DecodeShared(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("%s: round trip mismatch\nwant %+v\ngot  %+v", s.Name, s, got)
+		}
+	}
+}
+
+func TestFlavorRoundTrip(t *testing.T) {
+	cases := []*FlavorSummary{
+		sampleFlavor(),
+		{Name: "EMPTY", SourceHash: "h"},
+		{Name: "ONE", SourceHash: "h", Sites: []*SiteSummary{{Callee: "EMPTY"}}},
+	}
+	for _, s := range cases {
+		enc := EncodeFlavor(s)
+		got, err := DecodeFlavor(enc)
 		if err != nil {
 			t.Fatalf("%s: decode: %v", s.Name, err)
 		}
@@ -101,8 +130,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 // must impose an order.
 func TestEncodeDeterministic(t *testing.T) {
 	for i := 0; i < 10; i++ {
-		if !bytes.Equal(EncodeProc(sampleProc()), EncodeProc(sampleProc())) {
-			t.Fatal("EncodeProc is not deterministic")
+		if !bytes.Equal(EncodeShared(sampleShared()), EncodeShared(sampleShared())) {
+			t.Fatal("EncodeShared is not deterministic")
+		}
+		if !bytes.Equal(EncodeFlavor(sampleFlavor()), EncodeFlavor(sampleFlavor())) {
+			t.Fatal("EncodeFlavor is not deterministic")
 		}
 		if !bytes.Equal(EncodeSnapshot(sampleSnapshot()), EncodeSnapshot(sampleSnapshot())) {
 			t.Fatal("EncodeSnapshot is not deterministic")
@@ -113,7 +145,7 @@ func TestEncodeDeterministic(t *testing.T) {
 // TestGoldenHeader pins the wire header so accidental format changes
 // without a Version bump are caught.
 func TestGoldenHeader(t *testing.T) {
-	enc := EncodeProc(&ProcSummary{Name: "P", SourceHash: "h"})
+	enc := EncodeShared(&SharedSummary{Name: "P", SourceHash: "h"})
 	if string(enc[:4]) != "IPCS" {
 		t.Fatalf("magic = %q, want IPCS", enc[:4])
 	}
@@ -121,11 +153,15 @@ func TestGoldenHeader(t *testing.T) {
 		t.Fatalf("version = %d, want %d", v, Version)
 	}
 	if enc[6] != 1 {
-		t.Fatalf("kind = %d, want 1 (proc)", enc[6])
+		t.Fatalf("kind = %d, want 1 (shared)", enc[6])
 	}
 	snap := EncodeSnapshot(&Snapshot{Procs: map[string]ProcStamp{}})
 	if snap[6] != 2 {
 		t.Fatalf("snapshot kind = %d, want 2", snap[6])
+	}
+	flav := EncodeFlavor(&FlavorSummary{Name: "P", SourceHash: "h"})
+	if flav[6] != 3 {
+		t.Fatalf("flavor kind = %d, want 3", flav[6])
 	}
 }
 
@@ -134,14 +170,24 @@ func TestGoldenHeader(t *testing.T) {
 // to the checksum) or return an error wrapping ErrCorrupt — it must
 // never panic and never return silently wrong data.
 func TestDecodeCorrupt(t *testing.T) {
-	enc := EncodeProc(sampleProc())
+	enc := EncodeShared(sampleShared())
 	for i := range enc {
 		mut := append([]byte(nil), enc...)
 		mut[i] ^= 0x41
-		if _, err := DecodeProc(mut); err == nil {
+		if _, err := DecodeShared(mut); err == nil {
 			t.Fatalf("byte %d flipped: decode succeeded", i)
 		} else if !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("byte %d flipped: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+	fenc := EncodeFlavor(sampleFlavor())
+	for i := range fenc {
+		mut := append([]byte(nil), fenc...)
+		mut[i] ^= 0x41
+		if _, err := DecodeFlavor(mut); err == nil {
+			t.Fatalf("flavor byte %d flipped: decode succeeded", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flavor byte %d flipped: error %v does not wrap ErrCorrupt", i, err)
 		}
 	}
 	snap := EncodeSnapshot(sampleSnapshot())
@@ -157,24 +203,36 @@ func TestDecodeCorrupt(t *testing.T) {
 // TestDecodeTruncated drops suffixes: every proper prefix must fail
 // cleanly, as must trailing garbage.
 func TestDecodeTruncated(t *testing.T) {
-	enc := EncodeProc(sampleProc())
+	enc := EncodeShared(sampleShared())
 	for n := 0; n < len(enc); n++ {
-		if _, err := DecodeProc(enc[:n]); !errors.Is(err, ErrCorrupt) {
+		if _, err := DecodeShared(enc[:n]); !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("prefix of %d bytes: error %v does not wrap ErrCorrupt", n, err)
 		}
 	}
-	if _, err := DecodeProc(append(append([]byte(nil), enc...), 0)); err == nil {
+	fenc := EncodeFlavor(sampleFlavor())
+	for n := 0; n < len(fenc); n++ {
+		if _, err := DecodeFlavor(fenc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flavor prefix of %d bytes: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+	if _, err := DecodeShared(append(append([]byte(nil), enc...), 0)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
-	if _, err := DecodeProc(nil); !errors.Is(err, ErrCorrupt) {
+	if _, err := DecodeShared(nil); !errors.Is(err, ErrCorrupt) {
 		t.Fatal("nil input must report corruption")
 	}
-	// Kind confusion: a snapshot fed to the proc decoder and vice versa.
-	if _, err := DecodeProc(EncodeSnapshot(sampleSnapshot())); !errors.Is(err, ErrCorrupt) {
-		t.Fatal("snapshot bytes accepted as proc")
+	// Kind confusion: every record kind fed to every other decoder.
+	if _, err := DecodeShared(EncodeSnapshot(sampleSnapshot())); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("snapshot bytes accepted as shared record")
+	}
+	if _, err := DecodeShared(fenc); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("flavor bytes accepted as shared record")
+	}
+	if _, err := DecodeFlavor(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("shared bytes accepted as flavor record")
 	}
 	if _, err := DecodeSnapshot(enc); !errors.Is(err, ErrCorrupt) {
-		t.Fatal("proc bytes accepted as snapshot")
+		t.Fatal("shared bytes accepted as snapshot")
 	}
 }
 
@@ -208,6 +266,35 @@ func TestMemStoreEviction(t *testing.T) {
 	st := s.Stats()
 	if st.Evictions != 1 || st.Puts != 3 || st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMemStoreLRUPromotion pins that Get refreshes recency: touching
+// the oldest entry must divert the next eviction to the untouched one.
+func TestMemStoreLRUPromotion(t *testing.T) {
+	s := NewMemStore(2)
+	k1, k2, k3 := KeyOf("1"), KeyOf("2"), KeyOf("3")
+	mustPut(t, s, k1)
+	mustPut(t, s, k2)
+	if _, ok := s.Get(k1); !ok { // promote k1 over k2
+		t.Fatal("k1 missing before eviction")
+	}
+	mustPut(t, s, k3) // evicts k2, the least recently used
+	if _, ok := s.Get(k2); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	if _, ok := s.Get(k1); !ok {
+		t.Fatal("recently read entry was evicted")
+	}
+	if _, ok := s.Get(k3); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func mustPut(t *testing.T, s Store, k Key) {
+	t.Helper()
+	if err := s.Put(k, []byte(k.String())); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -8,15 +8,17 @@ import (
 )
 
 // This file is the Store conformance suite: every implementation —
-// unbounded memory, bounded memory, disk — runs the same battery, so a
-// new store (or a changed one) is held to the shared contract:
-// round-trip fidelity, exact access counters, and safety under
-// concurrent put/get (scripts/check.sh runs this under -race).
+// unbounded memory, bounded memory, disk, tiered stacks, and the
+// remote HTTP client — runs the same battery, so a new store (or a
+// changed one) is held to the shared contract: round-trip fidelity,
+// exact access counters, and safety under concurrent put/get
+// (scripts/check.sh runs this under -race).
 
 // storeVariants enumerates the implementations under test. The bounded
 // variant's cap exceeds every key count the shared battery uses, so
 // eviction never interferes here; eviction semantics get their own
-// test below.
+// test below. Tiered variants register a Flush cleanup so background
+// write-backs drain before the test's temp dirs vanish.
 func storeVariants() map[string]func(t *testing.T) Store {
 	return map[string]func(t *testing.T) Store{
 		"memory":  func(t *testing.T) Store { return NewMemStore(0) },
@@ -26,6 +28,28 @@ func storeVariants() map[string]func(t *testing.T) Store {
 			if err != nil {
 				t.Fatal(err)
 			}
+			return s
+		},
+		"tiered": func(t *testing.T) Store {
+			s := NewTieredStore(NewMemStore(0), NewMemStore(0))
+			t.Cleanup(s.Flush)
+			return s
+		},
+		"tiered-disk": func(t *testing.T) Store {
+			d, err := NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewTieredStore(NewMemStore(0), d)
+			t.Cleanup(s.Flush)
+			return s
+		},
+		"remote": func(t *testing.T) Store {
+			return NewRemoteStore(newFakeBlobServer(t).URL())
+		},
+		"tiered-remote": func(t *testing.T) Store {
+			s := NewTieredStore(NewMemStore(0), NewRemoteStore(newFakeBlobServer(t).URL()))
+			t.Cleanup(s.Flush)
 			return s
 		},
 	}
@@ -38,6 +62,14 @@ func TestStoreConformance(t *testing.T) {
 			t.Run("Counters", func(t *testing.T) { testStoreCounters(t, mk(t)) })
 			t.Run("Concurrent", func(t *testing.T) { testStoreConcurrent(t, mk(t)) })
 		})
+	}
+}
+
+// flush drains pending background work on stores that have any, so
+// counter checks and temp-dir cleanup see a quiescent store.
+func flush(s Store) {
+	if f, ok := s.(interface{ Flush() }); ok {
+		f.Flush()
 	}
 }
 
@@ -85,7 +117,8 @@ func testStoreCounters(t *testing.T, s Store) {
 	s.Get(KeyOf("missing"))
 	s.Get(KeyOf("missing too"))
 	s.Get(KeyOf("still missing"))
-	want := StoreStats{Hits: 2, Misses: 3, Puts: 3, Evictions: 0}
+	flush(s)
+	want := StoreStats{Hits: 2, Misses: 3, Puts: 3, PutBytes: 3, Evictions: 0}
 	if got := s.Stats(); got != want {
 		t.Fatalf("stats = %+v, want %+v", got, want)
 	}
@@ -117,54 +150,63 @@ func testStoreConcurrent(t *testing.T, s Store) {
 		}(g)
 	}
 	wg.Wait()
+	flush(s)
 	want := StoreStats{
-		Hits:   goroutines * keys,
-		Misses: goroutines,
-		Puts:   goroutines * keys,
+		Hits:     goroutines * keys,
+		Misses:   goroutines,
+		Puts:     goroutines * keys,
+		PutBytes: goroutines * keys * 2,
 	}
 	if got := s.Stats(); got != want {
 		t.Fatalf("stats after concurrent traffic = %+v, want %+v", got, want)
 	}
 }
 
-// TestBoundedStoreEvictionOrder pins the bounded MemStore's FIFO
-// discipline: inserting past the cap evicts the oldest *insertion*,
-// and overwriting an existing key is not an insertion.
+// TestBoundedStoreEvictionOrder pins the bounded MemStore's LRU
+// discipline: inserting past the cap evicts the least recently *used*
+// entry — a read refreshes recency, and overwriting an existing key
+// promotes it rather than inserting.
 func TestBoundedStoreEvictionOrder(t *testing.T) {
 	s := NewMemStore(3)
 	k := func(i int) Key { return KeyOf("evict", fmt.Sprint(i)) }
-	for i := 1; i <= 3; i++ {
+	for i := 1; i <= 3; i++ { // recency (LRU→MRU): 1, 2, 3
 		if err := s.Put(k(i), []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := s.Put(k(2), []byte("updated")); err != nil { // overwrite: no eviction
+	if err := s.Put(k(1), []byte("updated")); err != nil { // promotes: 2, 3, 1
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.Evictions != 0 {
 		t.Fatalf("overwrite evicted: %+v", st)
 	}
+	if _, ok := s.Get(k(2)); !ok { // promotes: 3, 1, 2
+		t.Fatal("entry 2 missing before eviction")
+	}
 
-	if err := s.Put(k(4), []byte{4}); err != nil { // evicts k1, the oldest
+	if err := s.Put(k(4), []byte{4}); err != nil { // evicts k3, the LRU
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(k(1)); ok {
-		t.Error("oldest entry survived eviction")
+	if _, ok := s.Get(k(3)); ok {
+		t.Error("least recently used entry survived eviction")
 	}
-	for i := 2; i <= 4; i++ {
+	if v, ok := s.Get(k(1)); !ok || string(v) != "updated" {
+		t.Errorf("overwritten entry: got %q, %v; want \"updated\", true", v, ok)
+	}
+	for _, i := range []int{2, 4} { // recency now: 1, 2, 4
 		if _, ok := s.Get(k(i)); !ok {
 			t.Errorf("entry %d evicted out of order", i)
 		}
 	}
 
-	if err := s.Put(k(5), []byte{5}); err != nil { // evicts k2 next
+	if err := s.Put(k(5), []byte{5}); err != nil { // evicts k1 next
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(k(2)); ok {
-		t.Error("second-oldest entry survived eviction")
+	if _, ok := s.Get(k(1)); ok {
+		t.Error("second least recently used entry survived eviction")
 	}
-	if _, ok := s.Get(k(3)); !ok {
-		t.Error("entry 3 evicted out of order")
+	if _, ok := s.Get(k(2)); !ok {
+		t.Error("entry 2 evicted out of order")
 	}
 	if st := s.Stats(); st.Evictions != 2 || s.Len() != 3 {
 		t.Fatalf("evictions = %d, len = %d; want 2, 3", st.Evictions, s.Len())

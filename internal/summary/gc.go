@@ -51,11 +51,20 @@ func (s GCStats) String() string {
 }
 
 // Keys returns the store keys the snapshot references, in unspecified
-// order — the live set one run contributes to a GC sweep.
+// order — the live set one run contributes to a GC sweep. Each
+// procedure contributes both blob keys: collecting either half would
+// force the whole procedure to re-analyze. A zero key (a stamp written
+// without that half) pins nothing.
 func (s *Snapshot) Keys() []Key {
-	keys := make([]Key, 0, len(s.Procs))
+	var zero Key
+	keys := make([]Key, 0, 2*len(s.Procs))
 	for _, st := range s.Procs {
-		keys = append(keys, st.Key)
+		if st.Key != zero {
+			keys = append(keys, st.Key)
+		}
+		if st.SharedKey != zero {
+			keys = append(keys, st.SharedKey)
+		}
 	}
 	return keys
 }

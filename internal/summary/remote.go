@@ -1,0 +1,136 @@
+package summary
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RemoteStore is a Store backed by a blob service over HTTP — the
+// client half of the protocol ipcpd serves at /v1/blob/ — so a fleet
+// of analyzers can share one summary pool. The protocol is two verbs
+// on one resource:
+//
+//	GET  {base}/v1/blob/{key}   200 body = value, 404 = miss
+//	PUT  {base}/v1/blob/{key}   body = value, 2xx = stored
+//
+// with {key} the 64-hex spelling of the content address and an
+// X-Blob-Sum header carrying the SHA-256 of the body in both
+// directions, so either side can reject a corrupted transfer.
+//
+// A RemoteStore never fails an analysis: network errors, non-2xx
+// statuses, truncated bodies, and checksum mismatches all count into
+// the Errors stat and degrade to a miss (Get) or a dropped write
+// (Put) — the caller recomputes, exactly as on a cold cache.
+type RemoteStore struct {
+	base string
+
+	// Client performs the requests; the constructor installs one with a
+	// conservative timeout, and tests substitute their own.
+	Client *http.Client
+
+	counters
+}
+
+// blobSumHeader carries the hex SHA-256 of the request or response
+// body.
+const blobSumHeader = "X-Blob-Sum"
+
+// maxBlobSize bounds a fetched blob (and what the server accepts):
+// far above any real summary, small enough that a misbehaving peer
+// cannot balloon memory.
+const maxBlobSize = 64 << 20
+
+// NewRemoteStore returns a store speaking the blob protocol rooted at
+// baseURL (e.g. "http://127.0.0.1:7455"); a trailing slash or an
+// explicit /v1/blob suffix is tolerated.
+func NewRemoteStore(baseURL string) *RemoteStore {
+	base := strings.TrimSuffix(strings.TrimSuffix(baseURL, "/"), "/v1/blob")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &RemoteStore{
+		base:   base,
+		Client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (s *RemoteStore) url(k Key) string {
+	return s.base + "/v1/blob/" + k.String()
+}
+
+// Get implements Store.
+func (s *RemoteStore) Get(k Key) ([]byte, bool) {
+	resp, err := s.Client.Get(s.url(k))
+	if err != nil {
+		s.errors.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		s.misses.Add(1)
+		return nil, false
+	case resp.StatusCode != http.StatusOK:
+		s.errors.Add(1)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobSize+1))
+	if err != nil || len(data) > maxBlobSize {
+		s.errors.Add(1)
+		return nil, false
+	}
+	// The transfer self-checks twice over: the server's checksum header
+	// must match the bytes received, and a served Content-Length that
+	// the body fell short of already surfaced as a read error above.
+	if want := resp.Header.Get(blobSumHeader); want != "" {
+		sum := sha256.Sum256(data)
+		if !strings.EqualFold(want, hex.EncodeToString(sum[:])) {
+			s.errors.Add(1)
+			return nil, false
+		}
+	}
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put implements Store.
+func (s *RemoteStore) Put(k Key, v []byte) error {
+	req, err := http.NewRequest(http.MethodPut, s.url(k), bytes.NewReader(v))
+	if err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	sum := sha256.Sum256(v)
+	req.Header.Set(blobSumHeader, hex.EncodeToString(sum[:]))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.Client.Do(req)
+	if err != nil {
+		s.errors.Add(1)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		s.errors.Add(1)
+		return fmt.Errorf("summary: remote put: status %d", resp.StatusCode)
+	}
+	s.puts.Add(1)
+	s.putBytes.Add(int64(len(v)))
+	return nil
+}
+
+// Stats implements Store.
+func (s *RemoteStore) Stats() StoreStats { return s.stats() }
+
+// MaxBlobSize is the protocol's size cap on one blob, shared with the
+// serving side.
+const MaxBlobSize = maxBlobSize

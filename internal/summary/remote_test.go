@@ -1,0 +1,179 @@
+package summary
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBlobServer speaks the ipcpd blob protocol in-process, with a
+// fault dial: the remote-store tests flip it between healthy serving
+// and the failure modes a real network exhibits (server errors,
+// truncated transfers, corrupted checksums, hangs) to pin that the
+// client degrades to a miss and never serves damaged bytes.
+type fakeBlobServer struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	mode  string // "" | "error" | "truncate" | "corrupt-sum" | "slow"
+	srv   *httptest.Server
+}
+
+func newFakeBlobServer(t *testing.T) *fakeBlobServer {
+	f := &fakeBlobServer{blobs: make(map[string][]byte)}
+	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeBlobServer) URL() string { return f.srv.URL }
+
+func (f *fakeBlobServer) setMode(mode string) {
+	f.mu.Lock()
+	f.mode = mode
+	f.mu.Unlock()
+}
+
+func (f *fakeBlobServer) handle(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/blob/")
+	f.mu.Lock()
+	mode := f.mode
+	data, ok := f.blobs[key]
+	f.mu.Unlock()
+
+	switch mode {
+	case "error":
+		http.Error(w, "internal", http.StatusInternalServerError)
+		return
+	case "slow":
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	switch r.Method {
+	case http.MethodGet:
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		sum := sha256.Sum256(data)
+		hexSum := hex.EncodeToString(sum[:])
+		switch mode {
+		case "truncate":
+			// Advertise the full length but send half: the client's read
+			// must fail rather than yield a short blob.
+			w.Header().Set(blobSumHeader, hexSum)
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data[:len(data)/2])
+			return
+		case "corrupt-sum":
+			w.Header().Set(blobSumHeader, strings.Repeat("0", 64))
+		default:
+			w.Header().Set(blobSumHeader, hexSum)
+		}
+		w.Write(data)
+	case http.MethodPut:
+		body := new(bytes.Buffer)
+		body.ReadFrom(r.Body)
+		if want := r.Header.Get(blobSumHeader); want != "" {
+			sum := sha256.Sum256(body.Bytes())
+			if !strings.EqualFold(want, hex.EncodeToString(sum[:])) {
+				http.Error(w, "checksum mismatch", http.StatusBadRequest)
+				return
+			}
+		}
+		f.mu.Lock()
+		f.blobs[key] = body.Bytes()
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// TestRemoteStoreFaultsDegradeToMiss drives every failure mode through
+// Get: each must return a miss and count an error — and once the fault
+// clears, the blob must come back intact, proving no mode corrupted
+// either side.
+func TestRemoteStoreFaultsDegradeToMiss(t *testing.T) {
+	f := newFakeBlobServer(t)
+	s := NewRemoteStore(f.URL())
+	s.Client.Timeout = 100 * time.Millisecond // makes "slow" a transport fault
+
+	k := KeyOf("fault")
+	val := []byte("the one true payload")
+	if err := s.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, mode := range []string{"error", "truncate", "corrupt-sum", "slow"} {
+		f.setMode(mode)
+		before := s.Stats().Errors
+		v, ok := s.Get(k)
+		if ok {
+			t.Fatalf("mode %q: Get returned ok with %q", mode, v)
+		}
+		if got := s.Stats().Errors; got != before+1 {
+			t.Fatalf("mode %q: errors = %d, want %d", mode, got, before+1)
+		}
+		if got := s.Stats().Errors; got != int64(i+1) {
+			t.Fatalf("mode %q: cumulative errors = %d, want %d", mode, got, i+1)
+		}
+	}
+
+	f.setMode("")
+	if v, ok := s.Get(k); !ok || !bytes.Equal(v, val) {
+		t.Fatalf("after faults cleared: got %q, %v; want %q, true", v, ok, val)
+	}
+	st := s.Stats()
+	if st.Misses != 0 || st.Hits != 1 {
+		t.Fatalf("stats = %+v: faults must count as errors, not misses", st)
+	}
+}
+
+// TestRemoteStorePutFaults pins that a failed Put reports the error,
+// counts it, and leaves the server's prior blob (if any) untouched.
+func TestRemoteStorePutFaults(t *testing.T) {
+	f := newFakeBlobServer(t)
+	s := NewRemoteStore(f.URL())
+
+	k := KeyOf("putfault")
+	if err := s.Put(k, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	f.setMode("error")
+	if err := s.Put(k, []byte("replacement")); err == nil {
+		t.Fatal("Put against a 500 server succeeded")
+	}
+	if st := s.Stats(); st.Errors != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 error and 1 successful put", st)
+	}
+	f.setMode("")
+	if v, ok := s.Get(k); !ok || string(v) != "original" {
+		t.Fatalf("blob after failed overwrite: %q, %v", v, ok)
+	}
+}
+
+// TestRemoteStoreURLNormalization pins the constructor's tolerance for
+// the obvious spellings of the same endpoint.
+func TestRemoteStoreURLNormalization(t *testing.T) {
+	f := newFakeBlobServer(t)
+	k := KeyOf("norm")
+	if err := NewRemoteStore(f.URL()).Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{
+		f.URL(),
+		f.URL() + "/",
+		f.URL() + "/v1/blob",
+		strings.TrimPrefix(f.URL(), "http://"), // bare host:port
+	} {
+		s := NewRemoteStore(base)
+		if v, ok := s.Get(k); !ok || string(v) != "v" {
+			t.Errorf("base %q: got %q, %v", base, v, ok)
+		}
+	}
+}

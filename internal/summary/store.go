@@ -1,6 +1,7 @@
 package summary
 
 import (
+	"container/list"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,14 +30,16 @@ type Store interface {
 // StoreStats counts store traffic.
 type StoreStats struct {
 	Hits      int64 // Gets that found a value
-	Misses    int64 // Gets that found nothing
+	Misses    int64 // Gets that found nothing stored
 	Puts      int64 // successful Puts
+	PutBytes  int64 // bytes written by successful Puts
 	Evictions int64 // entries dropped by a bounded MemStore
+	Errors    int64 // I/O or protocol failures (distinct from misses)
 }
 
-// counters is the shared atomic tally behind both stores.
+// counters is the shared atomic tally behind the stores.
 type counters struct {
-	hits, misses, puts, evictions atomic.Int64
+	hits, misses, puts, putBytes, evictions, errors atomic.Int64
 }
 
 func (c *counters) stats() StoreStats {
@@ -44,7 +47,9 @@ func (c *counters) stats() StoreStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Puts:      c.puts.Load(),
+		PutBytes:  c.putBytes.Load(),
 		Evictions: c.evictions.Load(),
+		Errors:    c.errors.Load(),
 	}
 }
 
@@ -52,28 +57,39 @@ func (c *counters) stats() StoreStats {
 // In-memory store
 
 // MemStore is an in-memory Store, optionally bounded: when maxEntries
-// is positive, inserting past the bound evicts the oldest entries in
-// insertion order (the incremental engine re-keys on every change, so
-// old keys go cold and FIFO approximates LRU well enough for a cache
-// whose misses are merely recomputations).
+// is positive, inserting past the bound evicts the least recently used
+// entry — Get and an overwriting Put both count as use, so the hot
+// working set survives a sweep of cold lookups.
 type MemStore struct {
 	mu         sync.Mutex
 	maxEntries int
-	vals       map[Key][]byte
-	order      []Key // insertion order, for bounded eviction
+	elems      map[Key]*list.Element
+	lru        *list.List // front = least recently used
 	counters
+}
+
+// memEntry is one resident key/value pair, owned by its list element.
+type memEntry struct {
+	key Key
+	val []byte
 }
 
 // NewMemStore returns an in-memory store holding at most maxEntries
 // values (0 = unbounded).
 func NewMemStore(maxEntries int) *MemStore {
-	return &MemStore{maxEntries: maxEntries, vals: make(map[Key][]byte)}
+	return &MemStore{maxEntries: maxEntries, elems: make(map[Key]*list.Element), lru: list.New()}
 }
 
-// Get implements Store.
+// Get implements Store. A hit promotes the entry to most recently
+// used.
 func (s *MemStore) Get(k Key) ([]byte, bool) {
 	s.mu.Lock()
-	v, ok := s.vals[k]
+	el, ok := s.elems[k]
+	var v []byte
+	if ok {
+		s.lru.MoveToBack(el)
+		v = el.Value.(*memEntry).val
+	}
 	s.mu.Unlock()
 	if ok {
 		s.hits.Add(1)
@@ -83,23 +99,27 @@ func (s *MemStore) Get(k Key) ([]byte, bool) {
 	return v, ok
 }
 
-// Put implements Store.
+// Put implements Store. Overwriting an existing key promotes it; only
+// a genuinely new key can push the store past its bound and evict the
+// least recently used entry.
 func (s *MemStore) Put(k Key, v []byte) error {
 	s.mu.Lock()
-	if _, exists := s.vals[k]; !exists {
-		s.order = append(s.order, k)
+	if el, exists := s.elems[k]; exists {
+		el.Value.(*memEntry).val = v
+		s.lru.MoveToBack(el)
+	} else {
+		s.elems[k] = s.lru.PushBack(&memEntry{key: k, val: v})
 		if s.maxEntries > 0 {
-			for len(s.order) > s.maxEntries {
-				victim := s.order[0]
-				s.order = s.order[1:]
-				delete(s.vals, victim)
+			for s.lru.Len() > s.maxEntries {
+				victim := s.lru.Remove(s.lru.Front()).(*memEntry)
+				delete(s.elems, victim.key)
 				s.evictions.Add(1)
 			}
 		}
 	}
-	s.vals[k] = v
 	s.mu.Unlock()
 	s.puts.Add(1)
+	s.putBytes.Add(int64(len(v)))
 	return nil
 }
 
@@ -110,7 +130,7 @@ func (s *MemStore) Stats() StoreStats { return s.stats() }
 func (s *MemStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.vals)
+	return len(s.elems)
 }
 
 // ---------------------------------------------------------------------------
@@ -140,11 +160,18 @@ func (s *DiskStore) path(k Key) string {
 	return filepath.Join(s.dir, k.String()+".ipcs")
 }
 
-// Get implements Store.
+// Get implements Store. A missing file is a miss; any other read
+// failure (permissions, a dying disk) counts as an error instead, so
+// the stats distinguish "nothing stored" from "storage unwell" — both
+// degrade to recomputation.
 func (s *DiskStore) Get(k Key) ([]byte, bool) {
 	data, err := os.ReadFile(s.path(k))
 	if err != nil {
-		s.misses.Add(1)
+		if os.IsNotExist(err) {
+			s.misses.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
 		return nil, false
 	}
 	s.hits.Add(1)
@@ -155,23 +182,28 @@ func (s *DiskStore) Get(k Key) ([]byte, bool) {
 func (s *DiskStore) Put(k Key, v []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*")
 	if err != nil {
+		s.errors.Add(1)
 		return err
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(v); err != nil {
 		tmp.Close()
 		os.Remove(name)
+		s.errors.Add(1)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(name)
+		s.errors.Add(1)
 		return err
 	}
 	if err := os.Rename(name, s.path(k)); err != nil {
 		os.Remove(name)
+		s.errors.Add(1)
 		return err
 	}
 	s.puts.Add(1)
+	s.putBytes.Add(int64(len(v)))
 	return nil
 }
 

@@ -1,0 +1,106 @@
+package summary
+
+import "sync"
+
+// TieredStore composes stores into a cache hierarchy — typically
+// memory in front of disk in front of a remote — with read-through
+// fill and asynchronous write-back. Because every key is a complete
+// content address (the key change *is* the invalidation), tiers never
+// need coherence traffic: a value under a key is the same value in
+// every tier that has it, so filling and writing back can be lazy and
+// lossy without ever serving a wrong answer.
+type TieredStore struct {
+	tiers []Store
+	counters
+
+	// Write-back to the slower tiers runs on background goroutines,
+	// bounded by sem so a burst of Puts cannot pile up unbounded
+	// concurrency against a remote.
+	wg  sync.WaitGroup
+	sem chan struct{}
+}
+
+// writeBackWorkers bounds the concurrent background Puts draining into
+// the non-primary tiers.
+const writeBackWorkers = 4
+
+// NewTieredStore stacks stores fastest-first. Get probes in order and
+// back-fills every faster tier on a hit; Put writes the first tier
+// synchronously and the rest asynchronously (Flush drains). A single
+// tier is legal (the stack degenerates to that store plus counters),
+// zero tiers is a programming error.
+func NewTieredStore(tiers ...Store) *TieredStore {
+	if len(tiers) == 0 {
+		panic("summary: NewTieredStore needs at least one tier")
+	}
+	return &TieredStore{tiers: tiers, sem: make(chan struct{}, writeBackWorkers)}
+}
+
+// Get implements Store: the first tier that has the value wins, and
+// every tier in front of it is filled so the next lookup stops sooner.
+func (s *TieredStore) Get(k Key) ([]byte, bool) {
+	for i, t := range s.tiers {
+		v, ok := t.Get(k)
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			// A failed fill only costs the next lookup a deeper probe.
+			_ = s.tiers[j].Put(k, v)
+		}
+		s.hits.Add(1)
+		return v, true
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Put implements Store: synchronous into the first tier (so the value
+// is immediately visible to this process), write-back into the rest in
+// the background.
+func (s *TieredStore) Put(k Key, v []byte) error {
+	err := s.tiers[0].Put(k, v)
+	if err == nil {
+		s.puts.Add(1)
+		s.putBytes.Add(int64(len(v)))
+	}
+	for _, t := range s.tiers[1:] {
+		t := t
+		s.wg.Add(1)
+		s.sem <- struct{}{}
+		go func() {
+			defer func() { <-s.sem; s.wg.Done() }()
+			_ = t.Put(k, v)
+		}()
+	}
+	return err
+}
+
+// Flush blocks until every pending write-back has drained — tests and
+// process shutdown call it so slower tiers are complete.
+func (s *TieredStore) Flush() { s.wg.Wait() }
+
+// Stats implements Store. The hit/miss/put counters are the stack's
+// own (one logical lookup regardless of how many tiers it probed);
+// evictions and errors are aggregated from the tiers, since only they
+// evict or fail.
+func (s *TieredStore) Stats() StoreStats {
+	st := s.stats()
+	for _, t := range s.tiers {
+		ts := t.Stats()
+		st.Evictions += ts.Evictions
+		st.Errors += ts.Errors
+	}
+	return st
+}
+
+// TierStats returns each tier's own counters, fastest-first. Note the
+// traffic a tier sees is shaped by the stack: tier i only sees the
+// Gets that missed tiers 0..i-1, plus fills and write-backs as Puts.
+func (s *TieredStore) TierStats() []StoreStats {
+	out := make([]StoreStats, len(s.tiers))
+	for i, t := range s.tiers {
+		out[i] = t.Stats()
+	}
+	return out
+}

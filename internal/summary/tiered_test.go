@@ -1,0 +1,138 @@
+package summary
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTieredReadThroughFill pins the promotion path: a value present
+// only in a slow tier is served through the stack and copied into
+// every faster tier, so the next lookup stops at tier 0.
+func TestTieredReadThroughFill(t *testing.T) {
+	fast, slow := NewMemStore(0), NewMemStore(0)
+	s := NewTieredStore(fast, slow)
+	defer s.Flush()
+
+	k := KeyOf("fill")
+	if err := slow.Put(k, []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(k); !ok || !bytes.Equal(v, []byte("deep")) {
+		t.Fatalf("stack Get = %q, %v", v, ok)
+	}
+	if v, ok := fast.Get(k); !ok || !bytes.Equal(v, []byte("deep")) {
+		t.Fatalf("fast tier after read-through = %q, %v; want filled", v, ok)
+	}
+	// The stack counts one logical hit, not one per tier probed.
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stack stats = %+v", st)
+	}
+}
+
+// TestTieredWriteBack pins that Put lands synchronously in tier 0 and,
+// after Flush, in every slower tier.
+func TestTieredWriteBack(t *testing.T) {
+	fast, slow := NewMemStore(0), NewMemStore(0)
+	s := NewTieredStore(fast, slow)
+
+	k := KeyOf("writeback")
+	if err := s.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fast.Get(k); !ok {
+		t.Fatal("tier 0 missing the value immediately after Put")
+	}
+	s.Flush()
+	if v, ok := slow.Get(k); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("slow tier after Flush = %q, %v", v, ok)
+	}
+}
+
+// TestTieredFaultyRemoteDegrades stacks memory over a remote that is
+// serving 500s: reads and writes keep working out of the memory tier,
+// and the remote's failures surface only as the aggregated Errors
+// counter — the layered cache never fails an analysis.
+func TestTieredFaultyRemoteDegrades(t *testing.T) {
+	f := newFakeBlobServer(t)
+	f.setMode("error")
+	remote := NewRemoteStore(f.URL())
+	s := NewTieredStore(NewMemStore(0), remote)
+
+	k := KeyOf("degrade")
+	if err := s.Put(k, []byte("local")); err != nil {
+		t.Fatalf("Put with faulty remote tier: %v", err)
+	}
+	s.Flush()
+	if v, ok := s.Get(k); !ok || !bytes.Equal(v, []byte("local")) {
+		t.Fatalf("Get with faulty remote tier = %q, %v", v, ok)
+	}
+	if st := s.Stats(); st.Errors == 0 {
+		t.Fatal("remote failures did not surface in aggregated Errors")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Puts != 1 {
+		t.Fatalf("stack stats = %+v; faults must not disturb hit/put counts", st)
+	}
+
+	// A miss probes the remote too: still a clean miss, one more error.
+	if _, ok := s.Get(KeyOf("absent")); ok {
+		t.Fatal("miss through faulty remote returned a value")
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stack stats = %+v; want exactly one miss", st)
+	}
+}
+
+// TestTieredTierStats pins the per-tier view: tier 0 sees every
+// lookup, tier 1 only the ones tier 0 missed, and eviction activity in
+// a bounded tier is visible both per-tier and in the aggregate.
+func TestTieredTierStats(t *testing.T) {
+	fast, slow := NewMemStore(1), NewMemStore(0) // tier 0 holds one entry
+	s := NewTieredStore(fast, slow)
+	defer s.Flush()
+
+	k1, k2 := KeyOf("t1"), KeyOf("t2")
+	if err := s.Put(k1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, []byte("b")); err != nil { // evicts k1 from tier 0
+		t.Fatal(err)
+	}
+	s.Flush()
+	if v, ok := s.Get(k1); !ok || !bytes.Equal(v, []byte("a")) { // served by tier 1
+		t.Fatalf("Get(k1) = %q, %v", v, ok)
+	}
+
+	tiers := s.TierStats()
+	if len(tiers) != 2 {
+		t.Fatalf("TierStats len = %d, want 2", len(tiers))
+	}
+	if tiers[0].Misses == 0 {
+		t.Fatal("tier 0 recorded no miss for the evicted key")
+	}
+	if tiers[1].Hits == 0 {
+		t.Fatal("tier 1 recorded no hit for the evicted key")
+	}
+	if tiers[0].Evictions == 0 {
+		t.Fatal("bounded tier recorded no eviction")
+	}
+	if st := s.Stats(); st.Evictions != tiers[0].Evictions+tiers[1].Evictions {
+		t.Fatalf("aggregate evictions %d != sum of tiers", st.Evictions)
+	}
+}
+
+// TestTieredSingleTier pins that a one-tier stack is legal and behaves
+// as that store plus counters.
+func TestTieredSingleTier(t *testing.T) {
+	s := NewTieredStore(NewMemStore(0))
+	defer s.Flush()
+	k := KeyOf("single")
+	if err := s.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(k); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Puts != 1 || st.PutBytes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

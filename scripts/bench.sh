@@ -11,10 +11,12 @@
 #
 # The JSON output is one object per benchmark with the package, name,
 # iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
-# plus req_per_s / p50_ns / p99_ns for the server benchmark and
+# plus req_per_s / p50_ns / p99_ns for the server benchmark,
 # warm_worklist_visited / cold_worklist_visited for the warm-vs-cold
-# re-solve pair — flat enough for jq or a spreadsheet without a
-# Go-bench parser.
+# re-solve pair, and s1_hit_rate / shared_cache_bytes /
+# isolated_cache_bytes for the cross-flavor shared-cache sweep (the
+# flavor-split key payoff) — flat enough for jq or a spreadsheet
+# without a Go-bench parser.
 #
 # Usage: scripts/bench.sh [-quick]
 #   -quick runs each benchmark for 100ms instead of the 1s default,
@@ -46,6 +48,7 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
     name = $1; sub(/-[0-9]+$/, "", name)
     iters = $2; ns = $3
     bytes = ""; allocs = ""; reqs = ""; p50 = ""; p99 = ""; warmv = ""; coldv = ""
+    s1rate = ""; sharedb = ""; isob = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
@@ -54,6 +57,9 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
         if ($i == "p99-ns") p99 = $(i - 1)
         if ($i == "warm_worklist_visited") warmv = $(i - 1)
         if ($i == "cold_worklist_visited") coldv = $(i - 1)
+        if ($i == "s1_hit_rate") s1rate = $(i - 1)
+        if ($i == "shared_cache_bytes") sharedb = $(i - 1)
+        if ($i == "isolated_cache_bytes") isob = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {%spackage%s: %s%s%s, %sname%s: %s%s%s, %siterations%s: %s, %sns_per_op%s: %s", \
@@ -65,6 +71,9 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
     if (p99 != "") printf ", %sp99_ns%s: %s", q, q, p99
     if (warmv != "") printf ", %swarm_worklist_visited%s: %s", q, q, warmv
     if (coldv != "") printf ", %scold_worklist_visited%s: %s", q, q, coldv
+    if (s1rate != "") printf ", %ss1_hit_rate%s: %s", q, q, s1rate
+    if (sharedb != "") printf ", %sshared_cache_bytes%s: %s", q, q, sharedb
+    if (isob != "") printf ", %sisolated_cache_bytes%s: %s", q, q, isob
     printf "}"
 }
 END { printf "\n]}\n" }

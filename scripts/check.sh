@@ -15,7 +15,9 @@
 #   6. a CLI smoke run of the pass-manager instrumentation
 #      (-trace-passes on a complete-propagation analysis)
 #   7. an incremental smoke run: analyze ocean twice through a disk
-#      cache; the second run must reuse every summary (100% hit rate)
+#      cache; the second run must reuse every summary (100% hit rate),
+#      then a shared-cache flavor sweep (ipcp -all): the second flavor
+#      must hit the flavor-invariant stage-1 layer the first one wrote
 #   8. an analysis-server smoke run: start ipcpd on an ephemeral port,
 #      analyze ocean through it twice with ipcp -server (the second
 #      run must hit the daemon's resident snapshot), then SIGTERM it
@@ -80,6 +82,15 @@ echo "$warm" | grep -q '100.0% hit rate' \
     || { echo "warm incremental run did not reuse every summary:" >&2; echo "$warm" >&2; exit 1; }
 echo "$warm" | grep -q 'warm, 0-procedure cone' \
     || { echo "unchanged re-run did not warm-start with an empty cone:" >&2; echo "$warm" >&2; exit 1; }
+
+echo "==> shared-cache sweep smoke (ipcp -all -suite ocean, flavor-split stage-1 reuse)"
+sweep=$(go run ./cmd/ipcp -all -suite ocean -cache-dir "$cachedir/sweep")
+# Row 3 is the second flavor; column NF-1 is its s1-hits count, which
+# must be > 0: the stage-1 blobs the first flavor wrote are keyed
+# without the jump-function flavor, so every later flavor reuses them.
+second_hits=$(echo "$sweep" | awk 'NR==3 {print $(NF-1)}')
+[ "${second_hits:-0}" -gt 0 ] 2>/dev/null \
+    || { echo "second flavor of the shared-cache sweep saw no stage-1 hits:" >&2; echo "$sweep" >&2; exit 1; }
 
 echo "==> analysis-server smoke (ipcpd ephemeral port, remote analyze, graceful drain)"
 go build -o "$cachedir/ipcpd" ./cmd/ipcpd
