@@ -6,6 +6,8 @@
 //
 //	ipcp [flags] file.f
 //	ipcp [flags] -suite ocean          # analyze a generated suite program
+//	ipcp -server :7117 a.f b.f c.f     # one /v1/batch request; a fleet
+//	                                   # daemon fans the files across shards
 //
 // Flags select the configuration (one column of the paper's tables):
 //
@@ -74,6 +76,7 @@ func main() {
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the -cache-dir (delete unreferenced summaries, enforce -cache-budget) and exit")
 	cacheBudget := flag.Int64("cache-budget", 0, "byte budget for -cache-gc (0 = delete only unreferenced summaries)")
 	serverAddr := flag.String("server", "", "route the analysis through a running ipcpd at this address instead of analyzing in-process")
+	metricsDump := flag.Bool("metrics", false, "with -server: print the daemon's /metrics exposition and exit")
 	passes := flag.Bool("passes", false, "print the pass pipeline the configuration would run, then exit")
 	tracePasses := flag.Bool("trace-passes", false, "print the per-pass execution table after analysis")
 	debug := flag.Bool("debug", false, "verify the IR between passes and fail fast naming a corrupting pass")
@@ -116,17 +119,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipcp: -server supports the plain analysis path (-emit, -constants, -stats, -trace-passes); run -all/-clone/-verify/-cache-dir/-remote-cache locally")
 			os.Exit(2)
 		}
-		src, name, err := cli.Source(*suiteName, *scale, flag.Args())
-		if err != nil {
-			cli.Fatal("ipcp", err)
+		if *metricsDump {
+			runRemoteMetrics(*serverAddr)
+			return
 		}
-		runRemote(*serverAddr, src, name, ipcp.Config{
+		cfg := ipcp.Config{
 			Jump:                j,
 			ReturnJumpFunctions: !*noRet,
 			MOD:                 !*noMod,
 			Complete:            *complete,
 			Workers:             *workers,
-		}, remoteOpts{
+		}
+		if *suiteName == "" && len(flag.Args()) > 1 {
+			// Several files: one /v1/batch request; a fleet daemon fans
+			// them out across its worker shards.
+			if *emit || *stats {
+				fmt.Fprintln(os.Stderr, "ipcp: -emit and -stats work on a single input; batch mode prints per-file reports")
+				os.Exit(2)
+			}
+			runRemoteBatch(*serverAddr, flag.Args(), cfg, remoteOpts{
+				constants:   *listConstants,
+				tracePasses: *tracePasses,
+			})
+			return
+		}
+		src, name, err := cli.Source(*suiteName, *scale, flag.Args())
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		runRemote(*serverAddr, src, name, cfg, remoteOpts{
 			emit:        *emit,
 			constants:   *listConstants,
 			stats:       *stats,

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
+	"time"
 
 	"ipcp"
 	"ipcp/internal/cli"
@@ -13,7 +15,13 @@ import (
 // This file is cmd/ipcp's -server mode: the same flags and output as a
 // local run, but the analysis happens in a resident ipcpd daemon whose
 // warm summary cache makes repeat runs over an edited program
-// incremental across processes.
+// incremental across processes. With several file arguments the run
+// becomes one POST /v1/batch — against a fleet ipcpd the daemon fans
+// the files out across worker shards concurrently.
+
+// remoteRetryBusy caps the client's one retry after a 429: the daemon
+// asked us to back off, so a short wait usually lands the request.
+const remoteRetryBusy = 2 * time.Second
 
 // remoteOpts are the output toggles remote mode honors.
 type remoteOpts struct {
@@ -28,7 +36,7 @@ type remoteOpts struct {
 // through one snapshot lineage.
 func runRemote(addr, src, name string, cfg ipcp.Config, opts remoteOpts) {
 	ctx := context.Background()
-	c := client.New(addr)
+	c := client.New(addr).RetryBusy(remoteRetryBusy)
 
 	if opts.stats {
 		// Program characteristics are syntactic; computing them needs a
@@ -71,5 +79,58 @@ func runRemote(addr, src, name string, cfg ipcp.Config, opts remoteOpts) {
 
 	if opts.constants {
 		printConstants(rep)
+	}
+}
+
+// runRemoteMetrics prints the daemon's /metrics exposition (-server
+// -metrics) — the scriptable way to read routing distribution and
+// restart counters off a fleet.
+func runRemoteMetrics(addr string) {
+	text, err := client.New(addr).Metrics(context.Background())
+	if err != nil {
+		cli.Fatal("ipcp", err)
+	}
+	fmt.Print(text)
+}
+
+// runRemoteBatch analyzes several files in one /v1/batch request and
+// prints each file's standard report (or its per-item error) in
+// argument order. Exits nonzero if any item failed — partial results
+// are still printed first.
+func runRemoteBatch(addr string, files []string, cfg ipcp.Config, opts remoteOpts) {
+	ctx := context.Background()
+	c := client.New(addr).RetryBusy(remoteRetryBusy)
+
+	req := server.BatchRequest{Config: server.ConfigOf(cfg)}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		req.Items = append(req.Items, server.BatchItem{Source: string(data), Program: path})
+	}
+
+	results, err := c.Batch(ctx, req)
+	if err != nil {
+		cli.Fatal("ipcp", err)
+	}
+	failed := 0
+	for i, res := range results {
+		if !res.OK() {
+			failed++
+			fmt.Fprintf(os.Stderr, "ipcp: %s: %s (HTTP %d)\n", files[i], res.Error, res.Status)
+			continue
+		}
+		printSummary(files[i], cfg, res.Report)
+		if opts.tracePasses {
+			fmt.Print(res.Report.PassTrace())
+		}
+		if opts.constants {
+			printConstants(res.Report)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ipcp: %d/%d files failed\n", failed, len(files))
+		os.Exit(1)
 	}
 }

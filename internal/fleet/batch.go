@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ipcp/internal/server"
+	"ipcp/internal/server/client"
+)
+
+// This file is the fleet's batch fan-out: one POST /v1/batch request
+// of N sources splits per item, each item routed to the shard that
+// owns its lineage and dispatched as an ordinary /v1/analyze, with the
+// results streamed back as NDJSON in completion order. Partial failure
+// is per item: a shard dying mid-batch errors only the items in flight
+// on it (status 502), items routed after the crash fail over to the
+// runner-up, and sibling items on healthy shards are never voided.
+
+func (f *Fleet) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if !f.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		f.fail(w, http.StatusBadRequest, errors.New("batch: no items"))
+		return
+	}
+	if len(req.Items) > server.MaxBatchItems {
+		f.fail(w, http.StatusBadRequest,
+			fmt.Errorf("batch: %d items exceeds the %d-item bound", len(req.Items), server.MaxBatchItems))
+		return
+	}
+	f.metrics.batchSize.Observe(float64(len(req.Items)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(res server.BatchItemResult) {
+		if res.OK() {
+			f.metrics.batchItems.Add(1)
+		} else {
+			f.metrics.batchErrors.Add(1)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(res); err != nil {
+			f.logf("fleet: batch: encode item %d: %v", res.Index, err)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Bound the fleet-wide fan-out; each worker additionally sheds per
+	// item through its own admission control (and the dispatch client
+	// absorbs one 429 per item).
+	sem := make(chan struct{}, f.cfg.BatchConcurrency)
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			emit(f.batchItem(r.Context(), i, req))
+		}(i)
+	}
+	wg.Wait()
+}
+
+// batchItem dispatches one item to the shard owning its lineage.
+func (f *Fleet) batchItem(ctx context.Context, i int, req server.BatchRequest) server.BatchItemResult {
+	item := req.Items[i]
+	res := server.BatchItemResult{Index: i, Shard: -1}
+	cfgReq := req.Config
+	if item.Config != nil {
+		cfgReq = *item.Config
+	}
+	cfg, err := cfgReq.Config()
+	if err != nil {
+		res.Status, res.Error = http.StatusBadRequest, err.Error()
+		return res
+	}
+	timeout := req.TimeoutMS
+	if item.TimeoutMS > 0 {
+		timeout = item.TimeoutMS
+	}
+	areq := server.AnalyzeRequest{
+		Source:    item.Source,
+		Program:   item.Program,
+		Config:    cfgReq,
+		TimeoutMS: timeout,
+	}
+	shard, out, err := dispatch(f, ctx, analyzeKey(item.Program, cfg), "batch",
+		func(ctx context.Context, c *client.Client) (*server.AnalyzeResponse, error) {
+			return c.Analyze(ctx, areq)
+		})
+	res.Shard = shard
+	if err != nil {
+		res.Status, res.Error = batchStatus(err), err.Error()
+		return res
+	}
+	res.Status, res.Report, res.Coalesced = http.StatusOK, out.Report, out.Coalesced
+	return res
+}
+
+// batchStatus maps a dispatch error to the item's status, mirroring
+// failDispatch.
+func batchStatus(err error) int {
+	var se *client.StatusError
+	switch {
+	case errors.As(err, &se):
+		return se.Code
+	case errors.Is(err, errNoWorkers):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadGateway
+	}
+}

@@ -1,0 +1,15 @@
+//go:build linux
+
+package fleet
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig asks the kernel to SIGKILL the worker if the supervisor
+// dies without running its drain path, so a crashed front end never
+// leaks shard processes.
+func setPdeathsig(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package fleet
+
+import "os/exec"
+
+// setPdeathsig is linux-only; elsewhere orphaned workers are reaped by
+// the supervisor's drain path alone.
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/server"
+)
+
+// Unit tests for the rendezvous routing function: the owner must be a
+// pure function of (key, healthy set), spread keys across shards, and
+// — the property the fleet's warm caches live on — move only a downed
+// shard's keys when the healthy set shrinks.
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cfg\x00program-%d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndInSet(t *testing.T) {
+	alive := []int{0, 1, 2, 3}
+	for _, k := range keys(200) {
+		got := owner(k, alive)
+		if got < 0 || got > 3 {
+			t.Fatalf("owner(%q) = %d, outside the healthy set", k, got)
+		}
+		for i := 0; i < 5; i++ {
+			if again := owner(k, alive); again != got {
+				t.Fatalf("owner(%q) unstable: %d then %d", k, got, again)
+			}
+		}
+	}
+	if got := owner("anything", nil); got != -1 {
+		t.Fatalf("owner over an empty set = %d, want -1", got)
+	}
+}
+
+func TestOwnerSpreadsKeys(t *testing.T) {
+	alive := []int{0, 1, 2}
+	counts := make(map[int]int)
+	ks := keys(3000)
+	for _, k := range ks {
+		counts[owner(k, alive)]++
+	}
+	for _, s := range alive {
+		if frac := float64(counts[s]) / float64(len(ks)); frac < 0.15 {
+			t.Fatalf("shard %d owns %.1f%% of keys; distribution collapsed: %v",
+				s, 100*frac, counts)
+		}
+	}
+}
+
+func TestOwnerMinimalDisruption(t *testing.T) {
+	before := []int{0, 1, 2}
+	after := []int{0, 2} // shard 1 went down
+	moved := 0
+	for _, k := range keys(2000) {
+		was, is := owner(k, before), owner(k, after)
+		if was != 1 {
+			if is != was {
+				t.Fatalf("key %q moved %d→%d although its owner stayed healthy", k, was, is)
+			}
+			continue
+		}
+		moved++
+		if is != 0 && is != 2 {
+			t.Fatalf("orphaned key %q landed on %d", k, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the downed shard; test is vacuous")
+	}
+}
+
+func TestRouteAnalyzeMatchesDispatchKey(t *testing.T) {
+	cfg := ipcp.Config{Jump: ipcp.Polynomial, ReturnJumpFunctions: true, MOD: true}
+	alive := []int{0, 1, 2, 3}
+	for i := 0; i < 50; i++ {
+		prog := fmt.Sprintf("prog-%d", i)
+		want := owner(analyzeKey(prog, cfg), alive)
+		if got := RouteAnalyze(prog, cfg, 4); got != want {
+			t.Fatalf("RouteAnalyze(%q) = %d, dispatch would pick %d", prog, got, want)
+		}
+		wire, err := RouteAnalyzeWire(prog, server.ConfigOf(cfg), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wire != want {
+			t.Fatalf("RouteAnalyzeWire(%q) = %d, dispatch would pick %d", prog, wire, want)
+		}
+	}
+}

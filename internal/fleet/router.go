@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ipcp/internal/server"
+	"ipcp/internal/server/client"
+)
+
+// This file is the dispatch path: pick the rendezvous owner of the
+// request's routing key among the healthy shards, forward through the
+// typed client (which retries once on 429 honoring Retry-After), and
+// on a transport failure — the crash window before the supervisor
+// notices the exit — fail over once to the runner-up shard.
+
+// errNoWorkers reports an empty healthy set (503 at the edge).
+var errNoWorkers = errors.New("fleet: no ready workers")
+
+// route picks the owner of key among the ready shards, excluding one
+// (a shard that just failed a dispatch; -1 excludes none).
+func (f *Fleet) route(key string, exclude int) (shard int, addr string, ok bool) {
+	alive := f.sup.healthy()
+	if exclude >= 0 {
+		kept := alive[:0]
+		for _, s := range alive {
+			if s != exclude {
+				kept = append(kept, s)
+			}
+		}
+		alive = kept
+	}
+	shard = owner(key, alive)
+	if shard < 0 {
+		return -1, "", false
+	}
+	addr, ok = f.sup.addr(shard)
+	if !ok {
+		// The shard dropped between healthy() and addr(); treat as no
+		// owner rather than racing further.
+		return -1, "", false
+	}
+	return shard, addr, true
+}
+
+// isTransport reports whether a dispatch error is a transport-level
+// failure (connection refused/reset — the worker vanished) rather than
+// an HTTP answer or the caller's own context expiring.
+func isTransport(err error) bool {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// dispatch routes one call by key: owner first, runner-up on transport
+// failure. It returns the shard that actually answered.
+func dispatch[T any](f *Fleet, ctx context.Context, key, endpoint string, call func(context.Context, *client.Client) (T, error)) (int, T, error) {
+	var zero T
+	shard, addr, ok := f.route(key, -1)
+	if !ok {
+		f.metrics.noWorkers.Add(1)
+		return -1, zero, errNoWorkers
+	}
+	f.metrics.routed(shard)
+	out, err := call(ctx, f.client(addr))
+	f.metrics.request(shard, endpoint, statusOf(err))
+	if err == nil || !isTransport(err) {
+		return shard, out, err
+	}
+
+	// The owner dropped mid-request. Its in-flight work is lost (the
+	// caller sees the error below if no runner-up exists), but new
+	// work re-routes immediately instead of waiting for the
+	// supervisor's crash detection.
+	f.metrics.reroutes.Add(1)
+	shard2, addr2, ok := f.route(key, shard)
+	if !ok {
+		return shard, zero, err
+	}
+	f.metrics.routed(shard2)
+	out, err = call(ctx, f.client(addr2))
+	f.metrics.request(shard2, endpoint, statusOf(err))
+	return shard2, out, err
+}
+
+// statusOf maps a dispatch outcome to the status recorded per shard.
+func statusOf(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return http.StatusBadGateway
+}
+
+// failDispatch writes the edge response for a failed dispatch: worker
+// HTTP answers pass through verbatim (with Retry-After preserved on
+// 429), an empty fleet answers 503, a transport failure 502.
+func (f *Fleet) failDispatch(w http.ResponseWriter, err error) {
+	var se *client.StatusError
+	switch {
+	case errors.As(err, &se):
+		if se.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfter/time.Second)))
+		}
+		f.fail(w, se.Code, errors.New(se.Message))
+	case errors.Is(err, errNoWorkers):
+		f.fail(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		f.fail(w, http.StatusGatewayTimeout, err)
+	default:
+		f.fail(w, http.StatusBadGateway, fmt.Errorf("fleet: worker unavailable: %w", err))
+	}
+}
+
+func (f *Fleet) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req server.AnalyzeRequest
+	if !f.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		f.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	shard, resp, err := dispatch(f, r.Context(), analyzeKey(req.Program, cfg), "analyze",
+		func(ctx context.Context, c *client.Client) (*server.AnalyzeResponse, error) {
+			return c.Analyze(ctx, req)
+		})
+	if err != nil {
+		f.failDispatch(w, err)
+		return
+	}
+	f.reply(w, shard, resp)
+}
+
+func (f *Fleet) handleTransform(w http.ResponseWriter, r *http.Request) {
+	var req server.TransformRequest
+	if !f.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		f.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	shard, resp, err := dispatch(f, r.Context(), analyzeKey(req.Program, cfg), "transform",
+		func(ctx context.Context, c *client.Client) (*server.TransformResponse, error) {
+			return c.Transform(ctx, req)
+		})
+	if err != nil {
+		f.failDispatch(w, err)
+		return
+	}
+	f.reply(w, shard, resp)
+}
+
+// rawResponse is a pass-through proxy answer (the matrix endpoint is
+// forwarded verbatim, query string and all, so every worker-side knob
+// keeps working without the router re-modeling it).
+type rawResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func (f *Fleet) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	program := r.URL.Query().Get("program")
+	query := r.URL.RawQuery
+	shard, resp, err := dispatch(f, r.Context(), matrixKey(program), "matrix",
+		func(ctx context.Context, c *client.Client) (*rawResponse, error) {
+			return f.proxyGet(ctx, c.Base()+"/v1/matrix?"+query)
+		})
+	if err != nil {
+		f.failDispatch(w, err)
+		return
+	}
+	w.Header().Set("X-Fleet-Shard", fmt.Sprint(shard))
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// proxyGet forwards one GET, returning non-2xx answers as
+// *client.StatusError so dispatch and failDispatch treat proxied and
+// typed calls uniformly.
+func (f *Fleet) proxyGet(ctx context.Context, url string) (*rawResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.proxy.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		return nil, client.StatusErrorOf(res)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &rawResponse{
+		status:      res.StatusCode,
+		contentType: res.Header.Get("Content-Type"),
+		body:        body,
+	}, nil
+}

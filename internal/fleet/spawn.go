@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// This file turns a real ipcpd binary into a StartWorker: each shard
+// is a child process serving on an ephemeral loopback port, its bound
+// address parsed from the same "ipcpd: listening on" line operators
+// and scripts/check.sh parse, SIGTERM forwarded for graceful drain.
+
+// addrLinePrefix is the stdout line every ipcpd prints once bound.
+const addrLinePrefix = "ipcpd: listening on "
+
+// ProcessSpawner returns a StartWorker that execs bin with args(shard)
+// — which must include "-addr 127.0.0.1:0" (or another loopback
+// ephemeral bind) so shards never collide — and hands the worker's
+// remaining output to logger line by line.
+func ProcessSpawner(bin string, args func(shard int) []string, logger *log.Logger) StartWorker {
+	return func(shard int) (*WorkerHandle, error) {
+		cmd := exec.Command(bin, args(shard)...)
+		setPdeathsig(cmd)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		cmd.Stderr = &lineLogger{logger: logger, prefix: fmt.Sprintf("shard %d: ", shard)}
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		// The worker prints its bound address as its first line; relay
+		// everything after it to the logger.
+		addrc := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				if addr, ok := strings.CutPrefix(line, addrLinePrefix); ok {
+					select {
+					case addrc <- strings.TrimSpace(addr):
+						continue
+					default:
+					}
+				}
+				if logger != nil {
+					logger.Printf("shard %d: %s", shard, line)
+				}
+			}
+		}()
+
+		select {
+		case addr := <-addrc:
+			return &WorkerHandle{
+				Addr: addr,
+				Pid:  cmd.Process.Pid,
+				Stop: func(ctx context.Context) error {
+					return cmd.Process.Signal(syscall.SIGTERM)
+				},
+				Kill: func() { cmd.Process.Kill() },
+				Done: done,
+			}, nil
+		case err := <-done:
+			return nil, fmt.Errorf("worker exited before binding: %v", err)
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			<-done
+			return nil, fmt.Errorf("worker never reported its address")
+		}
+	}
+}
+
+// lineLogger forwards a child's stderr to the logger line by line.
+type lineLogger struct {
+	logger *log.Logger
+	prefix string
+	buf    []byte
+}
+
+func (l *lineLogger) Write(p []byte) (int, error) {
+	l.buf = append(l.buf, p...)
+	for {
+		i := strings.IndexByte(string(l.buf), '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		if l.logger != nil {
+			l.logger.Print(l.prefix + string(l.buf[:i]))
+		}
+		l.buf = l.buf[i+1:]
+	}
+}

@@ -170,6 +170,67 @@ type TransformResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 }
 
+// BatchRequest is the body of POST /v1/batch: N independent sources
+// analyzed in one request. Items fan out concurrently — across the
+// worker pool on a single server, across shards behind a fleet router
+// — and each item succeeds or fails on its own (partial-failure
+// semantics: the batch itself answers 200 whenever it was well-formed,
+// and every item carries its own status).
+type BatchRequest struct {
+	// Items are the sources to analyze, at most MaxBatchItems of them.
+	Items []BatchItem `json:"items"`
+
+	// Config is the default configuration for items that do not carry
+	// their own.
+	Config ConfigRequest `json:"config"`
+
+	// TimeoutMS is the default per-item deadline for items that do not
+	// carry their own (each item gets its own deadline; a slow item
+	// times out alone).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one source in a batch.
+type BatchItem struct {
+	Source string `json:"source"`
+
+	// Program names the item's snapshot lineage, exactly as in
+	// AnalyzeRequest. Behind a fleet router the lineage also decides
+	// which shard serves the item.
+	Program string `json:"program,omitempty"`
+
+	// Config, when non-nil, overrides the batch-level default.
+	Config *ConfigRequest `json:"config,omitempty"`
+
+	// TimeoutMS, when positive, overrides the batch-level default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one line of the /v1/batch response stream. The
+// response body is NDJSON — one BatchItemResult per line, written in
+// completion order, so a client can act on early items while slow ones
+// are still running. Index ties a line back to the request's Items.
+type BatchItemResult struct {
+	// Index is the item's position in BatchRequest.Items.
+	Index int `json:"index"`
+
+	// Status is the item's own HTTP-style status: 200 with a Report on
+	// success, else the code a standalone /v1/analyze would have
+	// answered (400, 429, 500, 502, 503, 504) with Error set.
+	Status int `json:"status"`
+
+	// Shard is the worker that served the item behind a fleet router
+	// (-1 on a single-process server).
+	Shard int `json:"shard"`
+
+	Report    *ipcp.Report `json:"report,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+}
+
+// OK reports whether the item succeeded.
+func (r BatchItemResult) OK() bool { return r.Status/100 == 2 }
+
 // MatrixResponse is the body of GET /v1/matrix?program=NAME: the full
 // jump-function × MOD × return-JF configuration sweep (the paper's
 // Tables 2 and 3) over one named corpus program.

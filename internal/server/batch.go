@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// This file implements POST /v1/batch on a single server: N sources
+// analyzed concurrently in one request, streamed back as NDJSON — one
+// BatchItemResult per line, in completion order — with per-item
+// statuses so one failing source never voids its siblings. A fleet
+// router implements the same wire contract by fanning items out across
+// shards (internal/fleet); a single server fans them out across its
+// own worker pool.
+
+// MaxBatchItems bounds one /v1/batch request.
+const MaxBatchItems = 1024
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("batch: no items"))
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("batch: %d items exceeds the %d-item bound", len(req.Items), MaxBatchItems))
+		return
+	}
+	s.metrics.batchSize.Observe(float64(len(req.Items)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(res BatchItemResult) {
+		if res.OK() {
+			s.metrics.batchItems.Add(1)
+		} else {
+			s.metrics.batchErrors.Add(1)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(res); err != nil {
+			s.logf("batch: encode item %d: %v", res.Index, err)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Fan out at most Workers items at a time: one batch can saturate
+	// the pool but leaves the admission queue's headroom to concurrent
+	// requests — a genuinely overloaded server still sheds per item
+	// (status 429 on the item, not the batch).
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			emit(s.batchItem(r.Context(), i, req))
+		}(i)
+	}
+	wg.Wait()
+}
+
+// batchItem serves one batch item exactly as a standalone /v1/analyze
+// would: its own configuration and deadline, coalesced with identical
+// in-flight work, pooled, incremental against its lineage's snapshot.
+func (s *Server) batchItem(parent context.Context, i int, req BatchRequest) BatchItemResult {
+	item := req.Items[i]
+	res := BatchItemResult{Index: i, Shard: -1}
+	cfgReq := req.Config
+	if item.Config != nil {
+		cfgReq = *item.Config
+	}
+	cfg, err := cfgReq.Config()
+	if err != nil {
+		res.Status, res.Error = http.StatusBadRequest, err.Error()
+		return res
+	}
+	timeout := req.TimeoutMS
+	if item.TimeoutMS > 0 {
+		timeout = item.TimeoutMS
+	}
+	ctx, cancel := s.deadline(parent, timeout)
+	defer cancel()
+	rep, shared, err := s.analyzeFlight(ctx, item.Source, item.Program, cfg)
+	if err != nil {
+		res.Status, res.Error = s.errStatus(err), err.Error()
+		return res
+	}
+	res.Status, res.Report, res.Coalesced = http.StatusOK, rep, shared
+	return res
+}

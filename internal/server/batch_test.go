@@ -1,0 +1,83 @@
+package server_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ipcp"
+	"ipcp/internal/server"
+	"ipcp/internal/suite"
+)
+
+// TestServerBatchPartialFailure pins the single-process batch
+// contract: per-item statuses (a malformed source answers 400 for its
+// item only), results for every index, item-level config overrides
+// honored, and reports equal to local Analyze.
+func TestServerBatchPartialFailure(t *testing.T) {
+	gen := suite.Random(4, 6)
+	intraCfg := e2eConfig
+	intraCfg.Jump = ipcp.Intraprocedural
+	wantPoly := ipcp.MustLoad(gen.Source).Analyze(e2eConfig)
+	wantIntra := ipcp.MustLoad(gen.Source).Analyze(intraCfg)
+	normalize(wantPoly, wantIntra)
+
+	_, c := startServer(t, server.Config{Workers: 2})
+	override := server.ConfigOf(intraCfg)
+	results, err := c.Batch(context.Background(), server.BatchRequest{
+		Config: server.ConfigOf(e2eConfig),
+		Items: []server.BatchItem{
+			{Source: gen.Source, Program: "batch-a"},
+			{Source: "this is not a program", Program: "batch-bad"},
+			{Source: gen.Source, Program: "batch-b", Config: &override},
+		},
+	})
+	if err != nil {
+		t.Fatalf("a bad item must not fail the whole batch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results for 3 items", len(results))
+	}
+
+	if !results[0].OK() {
+		t.Fatalf("item 0: status %d (%s)", results[0].Status, results[0].Error)
+	}
+	normalize(results[0].Report)
+	if !reflect.DeepEqual(results[0].Report, wantPoly) {
+		t.Error("item 0: batch report diverges from local Analyze")
+	}
+
+	if results[1].OK() || results[1].Status != 400 || results[1].Error == "" {
+		t.Errorf("item 1 (malformed source): status %d error %q, want 400 with a message",
+			results[1].Status, results[1].Error)
+	}
+
+	if !results[2].OK() {
+		t.Fatalf("item 2: status %d (%s)", results[2].Status, results[2].Error)
+	}
+	normalize(results[2].Report)
+	if !reflect.DeepEqual(results[2].Report, wantIntra) {
+		t.Error("item 2: per-item config override was not honored")
+	}
+
+	for i, res := range results {
+		if res.Shard != -1 {
+			t.Errorf("item %d: single-process server reports shard %d, want -1", i, res.Shard)
+		}
+	}
+}
+
+// TestServerBatchValidation: an empty batch and an oversized batch are
+// rejected whole — no stream, a plain 400.
+func TestServerBatchValidation(t *testing.T) {
+	_, c := startServer(t, server.Config{Workers: 1})
+	ctx := context.Background()
+	if _, err := c.Batch(ctx, server.BatchRequest{}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty batch: err = %v, want HTTP 400", err)
+	}
+	over := server.BatchRequest{Items: make([]server.BatchItem, server.MaxBatchItems+1)}
+	if _, err := c.Batch(ctx, over); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("oversized batch: err = %v, want HTTP 400", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,8 +44,9 @@ func (e *StatusError) Busy() bool { return e.Code == http.StatusTooManyRequests 
 
 // Client talks to one ipcpd server. It is safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	retryBusy time.Duration
 }
 
 // New returns a client for the server at addr ("host:port" or a full
@@ -55,6 +57,26 @@ func New(addr string) *Client {
 	}
 	return &Client{base: strings.TrimSuffix(addr, "/"), http: &http.Client{}}
 }
+
+// RetryBusy makes the client retry a request once when the server
+// sheds it with 429, sleeping for the server's Retry-After (or
+// defaultBusyDelay when the header is missing), clamped to cap. Off by
+// default — callers that need to observe overload directly (load
+// tests, admission-control probes) keep the raw 429. cmd/ipcp -server
+// and the fleet router's worker dispatch both turn it on. Returns the
+// client for chaining.
+func (c *Client) RetryBusy(cap time.Duration) *Client {
+	c.retryBusy = cap
+	return c
+}
+
+// defaultBusyDelay is the backoff used for a 429 without a Retry-After
+// header.
+const defaultBusyDelay = 100 * time.Millisecond
+
+// Base returns the server's base URL ("http://host:port") — proxies
+// that forward raw requests alongside typed calls build on it.
+func (c *Client) Base() string { return c.base }
 
 // Analyze posts req to /v1/analyze.
 func (c *Client) Analyze(ctx context.Context, req server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
@@ -72,6 +94,45 @@ func (c *Client) Transform(ctx context.Context, req server.TransformRequest) (*s
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Batch posts req to /v1/batch and collects the NDJSON result stream
+// into a slice ordered by item index (one entry per request item). A
+// nil error means the batch ran; individual items may still have
+// failed — check each result's OK()/Status (partial-failure
+// semantics).
+func (c *Client) Batch(ctx context.Context, req server.BatchRequest) ([]server.BatchItemResult, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("ipcpd client: %w", err)
+	}
+	res, err := c.do(ctx, http.MethodPost, "/v1/batch", true, data)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	results := make([]server.BatchItemResult, len(req.Items))
+	seen := make([]bool, len(req.Items))
+	dec := json.NewDecoder(res.Body)
+	for {
+		var item server.BatchItemResult
+		if err := dec.Decode(&item); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ipcpd client: decode batch stream: %w", err)
+		}
+		if item.Index < 0 || item.Index >= len(results) {
+			return nil, fmt.Errorf("ipcpd client: batch stream returned index %d for a %d-item request", item.Index, len(req.Items))
+		}
+		results[item.Index] = item
+		seen[item.Index] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("ipcpd client: batch stream ended without a result for item %d", i)
+		}
+	}
+	return results, nil
 }
 
 // Matrix fetches the full configuration sweep over the named generated
@@ -111,37 +172,27 @@ func (c *Client) get(ctx context.Context, path string, resp any) error {
 
 // roundTrip performs one request. A non-nil body is sent as JSON. The
 // answer decodes into resp — into the string itself when resp is a
-// *string (the text endpoints), as JSON otherwise.
+// *string (the text endpoints), as JSON otherwise. With RetryBusy set
+// a 429 answer is retried once after the server's requested backoff.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body, resp any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("ipcpd client: %w", err)
 		}
-		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	res, err := c.do(ctx, method, path, body != nil, data)
 	if err != nil {
-		return fmt.Errorf("ipcpd client: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	res, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("ipcpd client: %w", err)
+		return err
 	}
 	defer res.Body.Close()
-	if res.StatusCode/100 != 2 {
-		return statusError(res)
-	}
 	if text, ok := resp.(*string); ok {
-		data, err := io.ReadAll(res.Body)
+		raw, err := io.ReadAll(res.Body)
 		if err != nil {
 			return fmt.Errorf("ipcpd client: %w", err)
 		}
-		*text = string(data)
+		*text = string(raw)
 		return nil
 	}
 	if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
@@ -149,6 +200,58 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body, resp 
 	}
 	return nil
 }
+
+// do sends the request and returns a 2xx response, retrying a 429 once
+// when RetryBusy is configured. Every non-2xx answer (including an
+// unretried or twice-shed 429) comes back as *StatusError.
+func (c *Client) do(ctx context.Context, method, path string, hasBody bool, data []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if hasBody {
+			rd = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("ipcpd client: %w", err)
+		}
+		if hasBody {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		res, err := c.http.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("ipcpd client: %w", err)
+		}
+		if res.StatusCode/100 == 2 {
+			return res, nil
+		}
+		serr := statusError(res)
+		res.Body.Close()
+		var se *StatusError
+		if attempt == 0 && c.retryBusy > 0 && errors.As(serr, &se) && se.Busy() {
+			delay := se.RetryAfter
+			if delay <= 0 {
+				delay = defaultBusyDelay
+			}
+			if delay > c.retryBusy {
+				delay = c.retryBusy
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+				continue
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		return nil, serr
+	}
+}
+
+// StatusErrorOf builds the *StatusError for a non-2xx response a
+// caller performed itself (a raw proxy pass-through), reading the JSON
+// error body when there is one — the same mapping the typed calls use.
+func StatusErrorOf(res *http.Response) error { return statusError(res) }
 
 // statusError builds the *StatusError for a non-2xx response, reading
 // the JSON error body when there is one.

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the opt-in 429 retry: off by default (load tests and
+// admission probes must see the raw overload), exactly one retry when
+// enabled, and the server's Retry-After clamped to the configured cap
+// so a misconfigured header cannot stall the caller.
+
+// busyN answers 429 (with the given Retry-After header, "" for none)
+// to the first n requests and 200 after, counting attempts.
+func busyN(n int32, retryAfter string) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	return ts, &calls
+}
+
+func TestRetryBusyOffByDefault(t *testing.T) {
+	ts, calls := busyN(1, "")
+	defer ts.Close()
+	err := New(ts.URL).Ready(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Busy() {
+		t.Fatalf("err = %v, want a 429 StatusError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("made %d requests without RetryBusy, want 1", got)
+	}
+}
+
+func TestRetryBusyRetriesOnce(t *testing.T) {
+	ts, calls := busyN(1, "")
+	defer ts.Close()
+	if err := New(ts.URL).RetryBusy(time.Second).Ready(context.Background()); err != nil {
+		t.Fatalf("retry should have landed the request: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("made %d requests, want 2 (original + one retry)", got)
+	}
+}
+
+func TestRetryBusyOnlyOnce(t *testing.T) {
+	ts, calls := busyN(5, "")
+	defer ts.Close()
+	err := New(ts.URL).RetryBusy(time.Second).Ready(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Busy() {
+		t.Fatalf("err = %v, want the second 429 surfaced", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("made %d requests, want exactly 2", got)
+	}
+}
+
+func TestRetryBusyClampsRetryAfter(t *testing.T) {
+	ts, _ := busyN(1, "30") // 30s requested; the cap must win
+	defer ts.Close()
+	start := time.Now()
+	if err := New(ts.URL).RetryBusy(50 * time.Millisecond).Ready(context.Background()); err != nil {
+		t.Fatalf("retry should have landed the request: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry waited %s; the cap did not clamp Retry-After", elapsed)
+	}
+}
+
+func TestRetryBusyContextCutsBackoff(t *testing.T) {
+	ts, _ := busyN(1, "30")
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := New(ts.URL).RetryBusy(time.Minute).Ready(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context to cut the backoff short", err)
+	}
+}

@@ -17,49 +17,85 @@ import (
 // the module is dependency-free by policy — and the exposition is the
 // de-facto standard so any scraper can consume it.
 
-// latencyBounds are the histogram bucket upper bounds, in seconds.
-var latencyBounds = []float64{
+// LatencyBounds are the request-latency histogram bucket upper bounds,
+// in seconds, shared by this package and the fleet router's metrics.
+var LatencyBounds = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
+// BatchSizeBounds are the bucket upper bounds for batch-size
+// histograms (items per /v1/batch request).
+var BatchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// Histogram is a fixed-bucket histogram exposed in the Prometheus text
+// format. It is exported so internal/fleet shares one implementation.
+type Histogram struct {
+	bounds []float64
 	mu     sync.Mutex
-	counts [len14]int64 // one per bound, plus +Inf
+	counts []int64 // one per bound, plus +Inf
 	sum    float64
 	total  int64
 }
 
-const len14 = 14 // len(latencyBounds) + 1; arrays keep the zero value usable
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds (plus an implicit +Inf bucket).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
 
-// observe records one latency.
-func (h *histogram) observe(seconds float64) {
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(latencyBounds, seconds)
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
-	h.sum += seconds
+	h.sum += v
 	h.total++
+}
+
+// Expose writes the histogram's cumulative bucket, sum, and count
+// series for the metric name. labels, when non-empty, is a rendered
+// label list without braces (`endpoint="analyze"`) merged into each
+// series alongside le.
+func (h *Histogram) Expose(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.total)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.total)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, h.total)
 }
 
 // endpointMetrics is one endpoint's request tally.
 type endpointMetrics struct {
 	mu      sync.Mutex
 	byCode  map[int]int64
-	latency histogram
+	latency *Histogram
 }
 
 func (e *endpointMetrics) record(code int, seconds float64) {
 	e.mu.Lock()
 	e.byCode[code]++
 	e.mu.Unlock()
-	e.latency.observe(seconds)
+	e.latency.Observe(seconds)
 }
 
 // metrics is the server-wide instrumentation.
 type metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+	batchSize *Histogram // items per /v1/batch request
 
 	inFlight    atomic.Int64 // requests admitted and not yet answered
 	coalesced   atomic.Int64 // responses served from an identical in-flight request
@@ -68,12 +104,18 @@ type metrics struct {
 	gcRuns      atomic.Int64 // cache GC sweeps
 	gcDeleted   atomic.Int64 // files cache GC deleted
 	snapEvicted atomic.Int64 // resident snapshots dropped by the LRU bound
+	batchItems  atomic.Int64 // batch items answered with a report
+	batchErrors atomic.Int64 // batch items answered with a per-item error
 }
 
 func newMetrics(endpoints ...string) *metrics {
-	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	m := &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		batchSize: NewHistogram(BatchSizeBounds),
+	}
 	for _, ep := range endpoints {
-		m.endpoints[ep] = &endpointMetrics{byCode: make(map[int]int64)}
+		m.endpoints[ep] = &endpointMetrics{byCode: make(map[int]int64), latency: NewHistogram(LatencyBounds)}
 	}
 	return m
 }
@@ -114,18 +156,12 @@ func (m *metrics) write(w io.Writer, queueDepth, snapshots int, cache ipcp.Cache
 	fmt.Fprintf(w, "# HELP ipcpd_request_duration_seconds Request latency by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE ipcpd_request_duration_seconds histogram\n")
 	for _, ep := range names {
-		h := &m.endpoints[ep].latency
-		h.mu.Lock()
-		cum := int64(0)
-		for i, bound := range latencyBounds {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "ipcpd_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, bound, cum)
-		}
-		fmt.Fprintf(w, "ipcpd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.total)
-		fmt.Fprintf(w, "ipcpd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		fmt.Fprintf(w, "ipcpd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
-		h.mu.Unlock()
+		m.endpoints[ep].latency.Expose(w, "ipcpd_request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
 	}
+
+	fmt.Fprintf(w, "# HELP ipcpd_batch_size Items per /v1/batch request.\n")
+	fmt.Fprintf(w, "# TYPE ipcpd_batch_size histogram\n")
+	m.batchSize.Expose(w, "ipcpd_batch_size", "")
 
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
@@ -137,6 +173,8 @@ func (m *metrics) write(w io.Writer, queueDepth, snapshots int, cache ipcp.Cache
 	gauge("ipcpd_queue_depth", "Admitted jobs waiting for a worker.", int64(queueDepth))
 	gauge("ipcpd_snapshots", "Resident program-lineage snapshots.", int64(snapshots))
 	counter("ipcpd_snapshot_evictions_total", "Resident snapshots dropped by the MaxSnapshots LRU bound.", m.snapEvicted.Load())
+	counter("ipcpd_batch_items_total", "Batch items answered with a report.", m.batchItems.Load())
+	counter("ipcpd_batch_item_errors_total", "Batch items answered with a per-item error.", m.batchErrors.Load())
 	counter("ipcpd_coalesced_total", "Responses served from an identical in-flight request.", m.coalesced.Load())
 	counter("ipcpd_rejected_total", "Requests refused by admission control (429).", m.rejected.Load())
 	counter("ipcpd_timeouts_total", "Requests abandoned at their deadline (504).", m.timeouts.Load())

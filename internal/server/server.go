@@ -55,6 +55,13 @@ type Config struct {
 	CacheBudget int64
 	GCInterval  time.Duration
 
+	// RemoteCache, when non-empty, layers a shared remote blob tier —
+	// another ipcpd's /v1/blob endpoint — behind the local cache, so
+	// shard-local caches share stage-1 summaries fleet-wide. Remote
+	// faults degrade to misses; queued write-backs are flushed during
+	// graceful shutdown.
+	RemoteCache string
+
 	// MaxSnapshots bounds the resident snapshot map: the server keeps
 	// the snapshots of at most this many program lineages (default 64),
 	// evicting the least recently used past the bound. Eviction only
@@ -125,12 +132,15 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		cache = ipcp.NewMemoryCache()
 	}
+	if cfg.RemoteCache != "" {
+		cache = ipcp.NewTieredCache(cache, ipcp.NewRemoteCache(cfg.RemoteCache))
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
 		pool:      newPool(cfg.Workers, cfg.QueueDepth),
 		flights:   newFlightGroup(),
-		metrics:   newMetrics("analyze", "transform", "matrix", "blob"),
+		metrics:   newMetrics("analyze", "transform", "matrix", "batch", "blob"),
 		snapshots: make(map[string]*list.Element),
 		snapOrder: list.New(),
 		gcStop:    make(chan struct{}),
@@ -148,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/transform", s.instrument("transform", s.handleTransform))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/matrix", s.instrument("matrix", s.handleMatrix))
 	mux.HandleFunc("GET /v1/blob/{key}", s.instrument("blob", s.handleBlobGet))
 	mux.HandleFunc("PUT /v1/blob/{key}", s.instrument("blob", s.handleBlobPut))
@@ -185,8 +196,10 @@ func (s *Server) Serve(l net.Listener) error {
 // Shutdown drains the server: readiness goes false (load balancers
 // stop sending), the HTTP server stops accepting and waits for open
 // requests up to ctx's deadline, then the worker pool finishes every
-// admitted job and the GC loop stops. Admissions racing with shutdown
-// get 503.
+// admitted job, the cache's pending write-backs (a tiered cache's
+// slower tiers, including the remote) are flushed so no queued put is
+// dropped, and the GC loop stops. Admissions racing with shutdown get
+// 503.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	s.mu.Lock()
@@ -197,6 +210,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = srv.Shutdown(ctx)
 	}
 	s.pool.drain()
+	s.cache.Flush()
 	s.gcOnce.Do(func() { close(s.gcStop) })
 	s.gcDone.Wait()
 	return err
@@ -260,16 +274,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	prog, err := ipcp.Load(req.Source)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
 	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
 	defer cancel()
 
-	lineage := ipcp.ConfigCacheKey(cfg) + "\x00" + req.Program
-	key := "analyze\x00" + lineage + "\x00" + sourceHash(req.Source)
+	rep, shared, err := s.analyzeFlight(ctx, req.Source, req.Program, cfg)
+	if err != nil {
+		s.failErr(w, err)
+		return
+	}
+	s.reply(w, AnalyzeResponse{Report: rep, Coalesced: shared})
+}
+
+// analyzeFlight serves one source analysis the standard way — parse,
+// coalesce with identical in-flight requests, run on the worker pool,
+// re-analyze incrementally against the lineage's resident snapshot. It
+// is the shared core of /v1/analyze and each /v1/batch item.
+func (s *Server) analyzeFlight(ctx context.Context, source, program string, cfg ipcp.Config) (*ipcp.Report, bool, error) {
+	prog, err := ipcp.Load(source)
+	if err != nil {
+		return nil, false, &badRequestError{err}
+	}
+	lineage := ipcp.ConfigCacheKey(cfg) + "\x00" + program
+	key := "analyze\x00" + lineage + "\x00" + sourceHash(source)
 	val, err, shared := s.flights.do(ctx, key, func() (any, error) {
 		return s.run(ctx, func() (any, error) {
 			return s.analyze(ctx, prog, cfg, lineage)
@@ -279,10 +305,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.metrics.coalesced.Add(1)
 	}
 	if err != nil {
-		s.failErr(w, err)
-		return
+		return nil, shared, err
 	}
-	s.reply(w, AnalyzeResponse{Report: val.(*ipcp.Report), Coalesced: shared})
+	return val.(*ipcp.Report), shared, nil
 }
 
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +592,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so the batch NDJSON stream stays
+// incremental through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // decode reads a JSON request body (bounded at 32 MiB), answering 400
 // itself on failure.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -592,23 +625,42 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
-// failErr maps an analysis-path error to its status: admission refusal
-// to 429 + Retry-After, shutdown to 503, deadline expiry and
-// cancellation to 504, anything else to 500.
-func (s *Server) failErr(w http.ResponseWriter, err error) {
+// badRequestError marks an analysis-path failure the client caused
+// (unparseable source), so errStatus answers 400 rather than 500.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// errStatus maps an analysis-path error to its status, counting the
+// shed/timeout metrics as a side effect: client errors to 400,
+// admission refusal to 429, shutdown to 503, deadline expiry and
+// cancellation to 504, anything else to 500. failErr and the per-item
+// batch path share it.
+func (s *Server) errStatus(err error) int {
+	var bad *badRequestError
 	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrBusy):
 		s.metrics.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, err)
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
-		s.fail(w, http.StatusServiceUnavailable, err)
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ipcp.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
-		s.fail(w, http.StatusGatewayTimeout, err)
+		return http.StatusGatewayTimeout
 	default:
-		s.fail(w, http.StatusInternalServerError, err)
+		return http.StatusInternalServerError
 	}
+}
+
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	code := s.errStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.fail(w, code, err)
 }

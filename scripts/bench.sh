@@ -1,13 +1,16 @@
 #!/bin/sh
 # bench.sh — run the repo's benchmark suites and emit BENCH_ipcp.json.
 #
-# Covers the four benchmark-bearing packages:
+# Covers the five benchmark-bearing packages:
 #   .                 end-to-end analysis, table generation, and the
 #                     scratch-vs-incremental comparison over doduc
 #   ./internal/core   solver, stage, and substitution-count benchmarks
 #   ./internal/interp the differential-oracle interpreter
 #   ./internal/server the analysis-server throughput benchmark, which
 #                     also reports req/s and p50/p99 request latency
+#   ./internal/fleet  the sharded-fleet /v1/batch throughput benchmark
+#                     (per-item req/s, p50/p99 batch latency across two
+#                     in-process worker shards)
 #
 # The JSON output is one object per benchmark with the package, name,
 # iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
@@ -35,7 +38,7 @@ out="BENCH_ipcp.json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in . ./internal/core ./internal/interp ./internal/server; do
+for pkg in . ./internal/core ./internal/interp ./internal/server ./internal/fleet; do
     echo "==> go test -bench . -benchmem -benchtime $benchtime -run '^\$' $pkg"
     echo "PKG $pkg" >> "$raw"
     go test -bench . -benchmem -benchtime "$benchtime" -run '^$' "$pkg" | tee -a "$raw"

@@ -22,7 +22,12 @@
 #      analyze ocean through it twice with ipcp -server (the second
 #      run must hit the daemon's resident snapshot), then SIGTERM it
 #      and require a clean graceful drain
-#   9. a short fuzz smoke of FuzzIncrementalEditChain, the
+#   9. a fleet smoke run: start ipcpd -workers 2, batch four files
+#      whose lineages deterministically span both shards, verify the
+#      routing distribution in /metrics, SIGKILL one worker and require
+#      both immediate failover and a supervised restart, then SIGTERM
+#      the fleet and require a clean drain that reaps every worker
+#  10. a short fuzz smoke of FuzzIncrementalEditChain, the
 #      warm-vs-scratch differential over fuzzer-chosen edit chains
 #
 # Usage: scripts/check.sh [-short]
@@ -69,9 +74,13 @@ echo "$trace" | grep -q '^propagate' \
 echo "==> incremental smoke (ipcp -suite ocean -cache-dir, run twice)"
 cachedir=$(mktemp -d)
 ipcpd_pid=""
+fleet_pid=""
 cleanup() {
     if [ -n "$ipcpd_pid" ]; then
         kill "$ipcpd_pid" 2>/dev/null || true
+    fi
+    if [ -n "$fleet_pid" ]; then
+        kill "$fleet_pid" 2>/dev/null || true
     fi
     rm -rf "$cachedir"
 }
@@ -111,6 +120,91 @@ kill -TERM "$ipcpd_pid"
 wait "$ipcpd_pid" \
     || { echo "ipcpd did not drain cleanly:" >&2; cat "$cachedir/ipcpd.log" >&2; exit 1; }
 ipcpd_pid=""
+
+echo "==> fleet smoke (ipcpd -workers 2: cross-shard batch, crash failover, drain)"
+go build -o "$cachedir/ipcp" ./cmd/ipcp
+# One small program under four names. The names are chosen so that
+# rendezvous routing under the default configuration deterministically
+# puts fleet-a/c on shard 1 and fleet-b/d on shard 0 — the batch spans
+# both shards on every run (TestRouteAnalyzeMatchesDispatchKey pins
+# the hash).
+cat > "$cachedir/fleet-a.f" <<'EOF'
+PROGRAM DRIVER
+  INTEGER N, TOL
+  N = 1000
+  TOL = 5
+  CALL SOLVE(N, TOL)
+END
+
+SUBROUTINE SOLVE(NPTS, ITOL)
+  INTEGER NPTS, ITOL, I, ACC
+  ACC = 0
+  DO I = 1, NPTS
+    ACC = ACC + ITOL
+  ENDDO
+  RETURN
+END
+EOF
+for f in fleet-b.f fleet-c.f fleet-d.f; do
+    cp "$cachedir/fleet-a.f" "$cachedir/$f"
+done
+"$cachedir/ipcpd" -addr 127.0.0.1:0 -workers 2 > "$cachedir/fleet.log" 2>&1 &
+fleet_pid=$!
+fleet_addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    fleet_addr=$(sed -n 's/^ipcpd: listening on //p' "$cachedir/fleet.log")
+    if [ -n "$fleet_addr" ] && grep -q 'fleet: 2 workers ready' "$cachedir/fleet.log"; then
+        break
+    fi
+    fleet_addr=""
+    sleep 0.25
+done
+[ -n "$fleet_addr" ] || { echo "fleet never became ready:" >&2; cat "$cachedir/fleet.log" >&2; exit 1; }
+
+batch=$(cd "$cachedir" && ./ipcp -server "$fleet_addr" fleet-a.f fleet-b.f fleet-c.f fleet-d.f)
+for f in fleet-a.f fleet-b.f fleet-c.f fleet-d.f; do
+    echo "$batch" | grep -q "^$f:" \
+        || { echo "batch result missing $f:" >&2; echo "$batch" >&2; exit 1; }
+done
+metrics=$("$cachedir/ipcp" -server "$fleet_addr" -metrics)
+for shard in 0 1; do
+    echo "$metrics" | grep -q "ipcpd_fleet_routed_total{shard=\"$shard\"} [1-9]" \
+        || { echo "batch did not route anything to shard $shard:" >&2; echo "$metrics" | grep fleet_routed >&2; exit 1; }
+done
+
+# Crash one worker (shard 1 owns fleet-a.f): the very next request must
+# fail over to the surviving shard, and the supervisor must restart the
+# dead one within its backoff bound.
+w1pid=$(sed -n 's/.*fleet: shard 1 ready on .* (pid \([0-9]*\)).*/\1/p' "$cachedir/fleet.log" | head -n 1)
+[ -n "$w1pid" ] || { echo "could not find shard 1's pid in the fleet log" >&2; cat "$cachedir/fleet.log" >&2; exit 1; }
+kill -9 "$w1pid"
+(cd "$cachedir" && ./ipcp -server "$fleet_addr" fleet-a.f > /dev/null) \
+    || { echo "request for the dead shard's lineage did not fail over" >&2; cat "$cachedir/fleet.log" >&2; exit 1; }
+restarted=0
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    if [ "$(grep -c 'fleet: shard 1 ready' "$cachedir/fleet.log")" -ge 2 ]; then
+        restarted=1
+        break
+    fi
+    sleep 0.25
+done
+[ "$restarted" = 1 ] || { echo "shard 1 was not restarted after its crash:" >&2; cat "$cachedir/fleet.log" >&2; exit 1; }
+"$cachedir/ipcp" -server "$fleet_addr" -metrics | grep -q 'ipcpd_fleet_restarts_total{shard="1"} 1' \
+    || { echo "restart not counted in fleet metrics" >&2; exit 1; }
+
+# Graceful drain must reap every worker process.
+w0pid=$(sed -n 's/.*fleet: shard 0 ready on .* (pid \([0-9]*\)).*/\1/p' "$cachedir/fleet.log" | head -n 1)
+w1pid=$(sed -n 's/.*fleet: shard 1 ready on .* (pid \([0-9]*\)).*/\1/p' "$cachedir/fleet.log" | tail -n 1)
+kill -TERM "$fleet_pid"
+wait "$fleet_pid" \
+    || { echo "fleet did not drain cleanly:" >&2; cat "$cachedir/fleet.log" >&2; exit 1; }
+fleet_pid=""
+for pid in $w0pid $w1pid; do
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "worker $pid survived the fleet drain" >&2
+        exit 1
+    fi
+done
 
 echo "==> fuzz smoke (FuzzIncrementalEditChain, 10s)"
 go test -fuzz 'FuzzIncrementalEditChain' -fuzztime 10s -run '^$' .
