@@ -28,6 +28,8 @@
 //	-remote-cache URL  add a shared remote tier behind the local cache: a
 //	                   blob service speaking ipcpd's /v1/blob protocol;
 //	                   remote failures degrade to recomputation
+//	-wal               journal cache puts for crash recovery (default
+//	                   true with -cache-dir; -wal=false disables)
 //	-baseline old.f    analyze old.f first to warm the cache, then analyze
 //	                   the input incrementally against it
 //
@@ -71,6 +73,7 @@ func main() {
 	workers := flag.Int("j", 0, "analysis workers (0 = one per CPU, 1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist summaries and a snapshot under this directory and re-analyze incrementally")
 	remoteCache := flag.String("remote-cache", "", "share summaries through a blob service at this URL (ipcpd's /v1/blob endpoint), tiered behind the local cache")
+	walOn := flag.Bool("wal", true, "journal cache puts to a write-ahead log for crash recovery (needs -cache-dir; -wal=false disables)")
 	warm := flag.Bool("warm", true, "warm-start the incremental solve from the previous snapshot's fixpoint (-warm=false forces a cold solve)")
 	baseline := flag.String("baseline", "", "warm the cache from this source file, then analyze the input incrementally")
 	cacheGC := flag.Bool("cache-gc", false, "garbage-collect the -cache-dir (delete unreferenced summaries, enforce -cache-budget) and exit")
@@ -181,7 +184,7 @@ func main() {
 		// The four flavors run sequentially through one shared cache:
 		// the first flavor writes the flavor-split stage-1 records, and
 		// the s1-hits column shows the later flavors reusing them.
-		cache := openCache(*cacheDir, *remoteCache)
+		cache := openCache(*cacheDir, *remoteCache, *walOn)
 		fmt.Printf("%-16s  %12s  %10s  %8s  %6s\n", "jump function", "substituted", "constants", "s1-hits", "hits")
 		for _, cfg := range cfgs {
 			rep, _ := prog.AnalyzeIncremental(cfg, nil, cache)
@@ -189,7 +192,7 @@ func main() {
 			fmt.Printf("%-16s  %12d  %10d  %8d  %6d\n",
 				cfg.Jump, rep.TotalSubstituted, rep.TotalConstants, st.Stage1Hits, st.CacheHits)
 		}
-		cache.Flush()
+		closeCache(cache)
 		if *tracePasses {
 			fmt.Println(cache.Stats())
 		}
@@ -228,7 +231,7 @@ func main() {
 		cache *ipcp.SummaryCache
 	)
 	if *cacheDir != "" || *baseline != "" || *remoteCache != "" {
-		rep, cache = analyzeIncremental(prog, cfg, *cacheDir, *remoteCache, *baseline)
+		rep, cache = analyzeIncremental(prog, cfg, *cacheDir, *remoteCache, *baseline, *walOn)
 	} else {
 		rep = prog.Analyze(cfg)
 	}
@@ -311,9 +314,26 @@ func printConstants(rep *ipcp.Report) {
 
 // openCache builds the summary cache the flags describe: a local tier
 // (on disk under cacheDir when given, else in memory) with an optional
-// shared remote tier layered behind it. Remote failures only cost
-// recomputation, never correctness.
-func openCache(cacheDir, remoteURL string) *ipcp.SummaryCache {
+// shared remote tier layered behind it. With a cache directory and the
+// WAL on (the default), puts are journaled before they are acknowledged
+// and a journal a crashed run left behind is replayed first — the note
+// on stderr says how much. Remote failures only cost recomputation,
+// never correctness.
+func openCache(cacheDir, remoteURL string, walOn bool) *ipcp.SummaryCache {
+	if cacheDir != "" && walOn {
+		cache, replay, err := ipcp.NewDurableCache(ipcp.DurableCacheOptions{
+			Dir:       cacheDir,
+			RemoteURL: remoteURL,
+		})
+		if err != nil {
+			cli.Fatal("ipcp", err)
+		}
+		if replay.Replayed > 0 || replay.Corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "ipcp: wal recovery: %d records replayed, %d already present, %d corrupt\n",
+				replay.Replayed, replay.Skipped, replay.Corrupt)
+		}
+		return cache
+	}
 	var (
 		local *ipcp.SummaryCache
 		err   error
@@ -331,6 +351,14 @@ func openCache(cacheDir, remoteURL string) *ipcp.SummaryCache {
 	return ipcp.NewTieredCache(local, ipcp.NewRemoteCache(remoteURL))
 }
 
+// closeCache flushes and closes the cache at exit, surfacing any
+// write-back or journal error the analysis could not return.
+func closeCache(cache *ipcp.SummaryCache) {
+	if err := cache.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ipcp: cache close: %v\n", err)
+	}
+}
+
 // analyzeIncremental runs the program-database path: open the summary
 // cache the flags describe, seed it from the previous on-disk snapshot
 // and/or an in-process baseline analysis, analyze the program
@@ -338,8 +366,8 @@ func openCache(cacheDir, remoteURL string) *ipcp.SummaryCache {
 // named by the configuration's full (flavor) cache key, so runs under
 // different flags never cross-contaminate — stage-1 sharing across
 // flavors happens inside the cache, not through snapshots.
-func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, remoteURL, baseline string) (*ipcp.Report, *ipcp.SummaryCache) {
-	cache := openCache(cacheDir, remoteURL)
+func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, remoteURL, baseline string, walOn bool) (*ipcp.Report, *ipcp.SummaryCache) {
+	cache := openCache(cacheDir, remoteURL, walOn)
 
 	var prev *ipcp.Snapshot
 	snapPath := ""
@@ -359,11 +387,13 @@ func analyzeIncremental(prog *ipcp.Program, cfg ipcp.Config, cacheDir, remoteURL
 
 	rep, snap := prog.AnalyzeIncremental(cfg, prev, cache)
 	if snapPath != "" {
-		if err := snap.Save(snapPath); err != nil {
+		// A delta chain: an edit appends the changed stamps instead of
+		// rewriting the whole index.
+		if _, err := snap.SaveChain(snapPath); err != nil {
 			cli.Fatal("ipcp", err)
 		}
 	}
-	cache.Flush()
+	closeCache(cache)
 	return rep, cache
 }
 

@@ -170,14 +170,10 @@ func (s *Snapshot) Save(path string) error {
 	return nil
 }
 
-// LoadSnapshot reads a snapshot written by Save and attaches it to the
-// cache holding its summaries.
+// LoadSnapshot reads a snapshot written by Save or SaveChain — either
+// on-disk form — and attaches it to the cache holding its summaries.
 func LoadSnapshot(path string, cache *SummaryCache) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("ipcp: %w", err)
-	}
-	snap, err := summary.DecodeSnapshot(data)
+	snap, err := summary.LoadSnapshotFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ipcp: %w", err)
 	}

@@ -3,12 +3,15 @@ package fleet_test
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -22,6 +25,7 @@ import (
 	"ipcp/internal/server"
 	"ipcp/internal/server/client"
 	"ipcp/internal/suite"
+	"ipcp/internal/wal"
 )
 
 // End-to-end proof of the fleet contract: a report served through the
@@ -40,6 +44,11 @@ type testWorkers struct {
 	t   *testing.T
 	cfg server.Config
 
+	// cfgFor, when non-nil, overrides cfg per shard — the WAL recovery
+	// test gives each shard its own cache directory, the way ipcpd
+	// -workers does with DIR/shard-<i>.
+	cfgFor func(shard int) server.Config
+
 	mu      sync.Mutex
 	handles map[int]*fleet.WorkerHandle
 }
@@ -49,7 +58,11 @@ func newTestWorkers(t *testing.T, cfg server.Config) *testWorkers {
 }
 
 func (tw *testWorkers) start(shard int) (*fleet.WorkerHandle, error) {
-	s, err := server.New(tw.cfg)
+	cfg := tw.cfg
+	if tw.cfgFor != nil {
+		cfg = tw.cfgFor(shard)
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -91,8 +104,11 @@ func (tw *testWorkers) kill(shard int) {
 // startFleet brings up an n-shard fleet over in-process workers and
 // returns it with a typed client and the router's base URL.
 func startFleet(t *testing.T, n int, wcfg server.Config) (*fleet.Fleet, *testWorkers, *client.Client, string) {
+	return startFleetWorkers(t, n, newTestWorkers(t, wcfg))
+}
+
+func startFleetWorkers(t *testing.T, n int, tw *testWorkers) (*fleet.Fleet, *testWorkers, *client.Client, string) {
 	t.Helper()
-	tw := newTestWorkers(t, wcfg)
 	fl, err := fleet.New(fleet.Config{
 		Workers:    n,
 		Start:      tw.start,
@@ -397,5 +413,123 @@ func TestFleetFailoverAndRestart(t *testing.T) {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("fleet metrics missing %q", want)
 		}
+	}
+}
+
+// TestFleetCrashRestartRecoversWAL is the fleet half of the durability
+// contract. Each shard gets its own cache directory (as ipcpd -workers
+// lays them out); the victim shard's directory is pre-seeded with a
+// write-ahead journal holding every summary of the program's donor run
+// — the state a shard killed after acknowledging its puts but before
+// any write-back leaves behind. The worker must replay the journal at
+// boot (the first analysis runs at a 100% summary hit rate), and after
+// a crash plus supervisor restart on the same directory the lineage
+// must still be warm.
+func TestFleetCrashRestartRecoversWAL(t *testing.T) {
+	root := t.TempDir()
+	gen := suite.Random(3, 6)
+	want := ipcp.MustLoad(gen.Source).Analyze(e2eConfig)
+	normalize(want)
+
+	// Donor run: the same program and configuration through a local disk
+	// cache, producing the exact content-addressed blobs a shard's
+	// analysis would have put (keys are deterministic across processes).
+	donorDir := t.TempDir()
+	donorCache, err := ipcp.NewDiskCache(donorDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipcp.MustLoad(gen.Source).AnalyzeIncremental(e2eConfig, nil, donorCache)
+
+	byShard := programsSpanningShards(t, 2)
+	victim := 1
+	name := byShard[victim][0]
+
+	// Seed the victim shard's journal with the donor blobs, unconfirmed —
+	// as if a previous worker died right after acknowledging them.
+	shardDir := filepath.Join(root, fmt.Sprintf("shard-%d", victim))
+	j, err := wal.Open(shardDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(donorDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := 0
+	for _, e := range entries {
+		hexKey, ok := strings.CutSuffix(e.Name(), ".ipcs")
+		if !ok {
+			continue
+		}
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil || len(raw) != 32 {
+			continue
+		}
+		payload, err := os.ReadFile(filepath.Join(donorDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key wal.Key
+		copy(key[:], raw)
+		if _, err := j.Append(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		seeded++
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seeded == 0 {
+		t.Fatal("donor run produced no cache blobs to seed")
+	}
+
+	tw := newTestWorkers(t, server.Config{})
+	tw.cfgFor = func(shard int) server.Config {
+		return server.Config{Workers: 2, CacheDir: filepath.Join(root, fmt.Sprintf("shard-%d", shard))}
+	}
+	fl, _, c, _ := startFleetWorkers(t, 2, tw)
+
+	// First analysis on the recovered shard: every summary lookup must
+	// hit — the only possible source is the journal replay.
+	ctx := context.Background()
+	req := server.AnalyzeRequest{Source: gen.Source, Program: name, Config: server.ConfigOf(e2eConfig)}
+	resp, err := c.Analyze(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := resp.Report.Incremental
+	if st == nil || st.HitRate() != 1 {
+		t.Fatalf("first analysis after WAL seed did not run fully warm: %+v", st)
+	}
+	normalize(resp.Report)
+	if !reflect.DeepEqual(resp.Report, want) {
+		t.Fatal("WAL-recovered report diverges from local Analyze")
+	}
+
+	// Crash the shard and let the supervisor restart it on the same
+	// directory: the lineage must come back warm from disk plus journal.
+	tw.kill(victim)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := fl.Shards()[victim]
+		if s.Ready && s.Restarts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d not restarted in time: %+v", victim, s)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err = c.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("analyze after crash restart: %v", err)
+	}
+	if st := resp.Report.Incremental; st == nil || st.HitRate() != 1 {
+		t.Fatalf("restarted shard lost its summaries: %+v", st)
+	}
+	normalize(resp.Report)
+	if !reflect.DeepEqual(resp.Report, want) {
+		t.Fatal("post-restart report diverges from local Analyze")
 	}
 }

@@ -62,6 +62,13 @@ type Config struct {
 	// graceful shutdown.
 	RemoteCache string
 
+	// DisableWAL turns off the disk cache's write-ahead journal (the
+	// -wal=false escape hatch). With a CacheDir and the WAL on — the
+	// default — every accepted summary put is journaled before it is
+	// acknowledged and replayed at the next boot if the process dies
+	// before the write-back lands.
+	DisableWAL bool
+
 	// MaxSnapshots bounds the resident snapshot map: the server keeps
 	// the snapshots of at most this many program lineages (default 64),
 	// evicting the least recently used past the bound. Eviction only
@@ -124,15 +131,30 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxSnapshots = 64
 	}
 	var cache *ipcp.SummaryCache
-	if cfg.CacheDir != "" {
+	var replay ipcp.WALReplayStats
+	switch {
+	case cfg.CacheDir != "" && !cfg.DisableWAL:
+		// The durable stack: memory in front of disk (in front of the
+		// remote), journaled so a crash loses no acknowledged put.
+		// Recovery replays whatever the last process left behind.
+		var err error
+		cache, replay, err = ipcp.NewDurableCache(ipcp.DurableCacheOptions{
+			Dir:        cfg.CacheDir,
+			RemoteURL:  cfg.RemoteCache,
+			MemEntries: 4096,
+		})
+		if err != nil {
+			return nil, err
+		}
+	case cfg.CacheDir != "":
 		var err error
 		if cache, err = ipcp.NewDiskCache(cfg.CacheDir); err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		cache = ipcp.NewMemoryCache()
 	}
-	if cfg.RemoteCache != "" {
+	if cfg.RemoteCache != "" && (cfg.CacheDir == "" || cfg.DisableWAL) {
 		cache = ipcp.NewTieredCache(cache, ipcp.NewRemoteCache(cfg.RemoteCache))
 	}
 	s := &Server{
@@ -144,6 +166,13 @@ func New(cfg Config) (*Server, error) {
 		snapshots: make(map[string]*list.Element),
 		snapOrder: list.New(),
 		gcStop:    make(chan struct{}),
+	}
+	s.metrics.walReplayed.Store(int64(replay.Replayed))
+	s.metrics.walSkipped.Store(int64(replay.Skipped))
+	s.metrics.walCorrupt.Store(int64(replay.Corrupt))
+	if replay.Replayed > 0 || replay.Corrupt > 0 {
+		s.logf("wal recovery: %d records replayed, %d already present, %d corrupt",
+			replay.Replayed, replay.Skipped, replay.Corrupt)
 	}
 	s.ready.Store(true)
 	if cfg.CacheDir != "" && cfg.GCInterval > 0 {
@@ -196,10 +225,12 @@ func (s *Server) Serve(l net.Listener) error {
 // Shutdown drains the server: readiness goes false (load balancers
 // stop sending), the HTTP server stops accepting and waits for open
 // requests up to ctx's deadline, then the worker pool finishes every
-// admitted job, the cache's pending write-backs (a tiered cache's
-// slower tiers, including the remote) are flushed so no queued put is
-// dropped, and the GC loop stops. Admissions racing with shutdown get
-// 503.
+// admitted job, the cache is closed — pending write-backs flushed so
+// no queued put is dropped, then the journal's confirmed segments
+// retired (a clean shutdown leaves nothing for the next boot to
+// replay) — and the GC loop stops. A write-back the shutdown had to
+// abandon is logged, its journal record left for the next boot.
+// Admissions racing with shutdown get 503.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	s.mu.Lock()
@@ -210,7 +241,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = srv.Shutdown(ctx)
 	}
 	s.pool.drain()
-	s.cache.Flush()
+	if cerr := s.cache.Close(); cerr != nil {
+		s.logf("cache close: %v", cerr)
+	}
 	s.gcOnce.Do(func() { close(s.gcStop) })
 	s.gcDone.Wait()
 	return err

@@ -30,8 +30,10 @@ import (
 // persisted VAL-cell vectors). Version 3 split the procedure record
 // into a config-invariant shared blob and a flavor blob (kindShared /
 // kindFlavor replacing the old kindProc) and added SharedKey to
-// ProcStamp.
-const Version = 3
+// ProcStamp. Version 4 added delta-encoded snapshots (kindDelta): a
+// per-procedure add/update/remove record against a parent snapshot
+// identified by its content key.
+const Version = 4
 
 const magic = "IPCS"
 
@@ -40,6 +42,7 @@ const (
 	kindShared   = 1
 	kindSnapshot = 2
 	kindFlavor   = 3
+	kindDelta    = 4
 )
 
 const (
@@ -620,8 +623,71 @@ func DecodeFlavor(data []byte) (*FlavorSummary, error) {
 // ---------------------------------------------------------------------------
 // Snapshots
 
+// stamp writes one procedure's ProcStamp — the per-procedure body
+// shared by full snapshots and snapshot deltas.
+func (w *writer) stamp(st ProcStamp) {
+	w.str(st.SourceHash)
+	w.bytes(st.Key[:])
+	w.bytes(st.SharedKey[:])
+	w.strs(st.Callees)
+	w.str(st.JFHash)
+	w.boolean(st.Cells != nil)
+	if st.Cells != nil {
+		w.cells(st.Cells.Formals)
+		w.cells(st.Cells.Globals)
+	}
+}
+
+// stamp is the inverse of writer.stamp.
+func (r *reader) stamp() (ProcStamp, error) {
+	var st ProcStamp
+	var err error
+	if st.SourceHash, err = r.str(); err != nil {
+		return st, err
+	}
+	klen, err := r.count()
+	if err != nil {
+		return st, err
+	}
+	if klen != len(st.Key) {
+		return st, corrupt("key length %d, want %d", klen, len(st.Key))
+	}
+	copy(st.Key[:], r.data[r.pos:])
+	r.pos += klen
+	sklen, err := r.count()
+	if err != nil {
+		return st, err
+	}
+	if sklen != len(st.SharedKey) {
+		return st, corrupt("shared-key length %d, want %d", sklen, len(st.SharedKey))
+	}
+	copy(st.SharedKey[:], r.data[r.pos:])
+	r.pos += sklen
+	if st.Callees, err = r.strs(); err != nil {
+		return st, err
+	}
+	if st.JFHash, err = r.str(); err != nil {
+		return st, err
+	}
+	hasCells, err := r.boolean()
+	if err != nil {
+		return st, err
+	}
+	if hasCells {
+		st.Cells = &ValCells{}
+		if st.Cells.Formals, err = r.cells(); err != nil {
+			return st, err
+		}
+		if st.Cells.Globals, err = r.cells(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
 // EncodeSnapshot serializes a snapshot, procedures sorted by name so
-// equal snapshots encode to equal bytes.
+// equal snapshots encode to equal bytes — content keys and delta
+// diffing both rely on the encoding being canonical.
 func EncodeSnapshot(s *Snapshot) []byte {
 	w := &writer{}
 	w.str(s.ConfigKey)
@@ -633,18 +699,8 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	sort.Strings(names)
 	w.count(len(names))
 	for _, name := range names {
-		st := s.Procs[name]
 		w.str(name)
-		w.str(st.SourceHash)
-		w.bytes(st.Key[:])
-		w.bytes(st.SharedKey[:])
-		w.strs(st.Callees)
-		w.str(st.JFHash)
-		w.boolean(st.Cells != nil)
-		if st.Cells != nil {
-			w.cells(st.Cells.Formals)
-			w.cells(st.Cells.Globals)
-		}
+		w.stamp(s.Procs[name])
 	}
 	return w.seal(kindSnapshot)
 }
@@ -672,46 +728,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		var st ProcStamp
-		if st.SourceHash, err = r.str(); err != nil {
-			return nil, err
-		}
-		klen, err := r.count()
+		st, err := r.stamp()
 		if err != nil {
 			return nil, err
-		}
-		if klen != len(st.Key) {
-			return nil, corrupt("key length %d, want %d", klen, len(st.Key))
-		}
-		copy(st.Key[:], r.data[r.pos:])
-		r.pos += klen
-		sklen, err := r.count()
-		if err != nil {
-			return nil, err
-		}
-		if sklen != len(st.SharedKey) {
-			return nil, corrupt("shared-key length %d, want %d", sklen, len(st.SharedKey))
-		}
-		copy(st.SharedKey[:], r.data[r.pos:])
-		r.pos += sklen
-		if st.Callees, err = r.strs(); err != nil {
-			return nil, err
-		}
-		if st.JFHash, err = r.str(); err != nil {
-			return nil, err
-		}
-		hasCells, err := r.boolean()
-		if err != nil {
-			return nil, err
-		}
-		if hasCells {
-			st.Cells = &ValCells{}
-			if st.Cells.Formals, err = r.cells(); err != nil {
-				return nil, err
-			}
-			if st.Cells.Globals, err = r.cells(); err != nil {
-				return nil, err
-			}
 		}
 		if _, dup := s.Procs[name]; dup {
 			return nil, corrupt("duplicate procedure %q", name)
@@ -722,4 +741,77 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, corrupt("%d trailing bytes", r.remaining())
 	}
 	return s, nil
+}
+
+// EncodeSnapshotDelta serializes a snapshot delta, updated procedures
+// and removals sorted by name so equal deltas encode to equal bytes.
+func EncodeSnapshotDelta(d *SnapshotDelta) []byte {
+	w := &writer{}
+	w.str(d.ConfigKey)
+	w.str(d.GlobalsHash)
+	w.bytes(d.Parent[:])
+	names := make([]string, 0, len(d.Updated))
+	for name := range d.Updated {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.count(len(names))
+	for _, name := range names {
+		w.str(name)
+		w.stamp(d.Updated[name])
+	}
+	removed := append([]string(nil), d.Removed...)
+	sort.Strings(removed)
+	w.strs(removed)
+	return w.seal(kindDelta)
+}
+
+// DecodeSnapshotDelta is the inverse of EncodeSnapshotDelta; corrupted
+// input yields an error wrapping ErrCorrupt, never a panic.
+func DecodeSnapshotDelta(data []byte) (*SnapshotDelta, error) {
+	r, err := open(data, kindDelta)
+	if err != nil {
+		return nil, err
+	}
+	d := &SnapshotDelta{Updated: make(map[string]ProcStamp)}
+	if d.ConfigKey, err = r.str(); err != nil {
+		return nil, err
+	}
+	if d.GlobalsHash, err = r.str(); err != nil {
+		return nil, err
+	}
+	plen, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if plen != len(d.Parent) {
+		return nil, corrupt("parent key length %d, want %d", plen, len(d.Parent))
+	}
+	copy(d.Parent[:], r.data[r.pos:])
+	r.pos += plen
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.stamp()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := d.Updated[name]; dup {
+			return nil, corrupt("duplicate updated procedure %q", name)
+		}
+		d.Updated[name] = st
+	}
+	if d.Removed, err = r.strs(); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, corrupt("%d trailing bytes", r.remaining())
+	}
+	return d, nil
 }

@@ -163,6 +163,10 @@ func TestGoldenHeader(t *testing.T) {
 	if flav[6] != 3 {
 		t.Fatalf("flavor kind = %d, want 3", flav[6])
 	}
+	delta := EncodeSnapshotDelta(&SnapshotDelta{})
+	if delta[6] != 4 {
+		t.Fatalf("delta kind = %d, want 4", delta[6])
+	}
 }
 
 // TestDecodeCorrupt flips every byte of valid encodings one at a time:
@@ -196,6 +200,16 @@ func TestDecodeCorrupt(t *testing.T) {
 		mut[i] ^= 0x41
 		if _, err := DecodeSnapshot(mut); err == nil {
 			t.Fatalf("snapshot byte %d flipped: decode succeeded", i)
+		}
+	}
+	denc := EncodeSnapshotDelta(sampleDelta())
+	for i := range denc {
+		mut := append([]byte(nil), denc...)
+		mut[i] ^= 0x41
+		if _, err := DecodeSnapshotDelta(mut); err == nil {
+			t.Fatalf("delta byte %d flipped: decode succeeded", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("delta byte %d flipped: error %v does not wrap ErrCorrupt", i, err)
 		}
 	}
 }
@@ -233,6 +247,18 @@ func TestDecodeTruncated(t *testing.T) {
 	}
 	if _, err := DecodeSnapshot(enc); !errors.Is(err, ErrCorrupt) {
 		t.Fatal("shared bytes accepted as snapshot")
+	}
+	denc := EncodeSnapshotDelta(sampleDelta())
+	for n := 0; n < len(denc); n++ {
+		if _, err := DecodeSnapshotDelta(denc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("delta prefix of %d bytes: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+	if _, err := DecodeSnapshotDelta(EncodeSnapshot(sampleSnapshot())); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("snapshot bytes accepted as delta")
+	}
+	if _, err := DecodeSnapshot(denc); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("delta bytes accepted as snapshot")
 	}
 }
 

@@ -100,11 +100,9 @@ func GCDir(dir string, extraLive []Key, budgetBytes int64) (GCStats, error) {
 		path := filepath.Join(dir, name)
 		switch {
 		case strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".snap"):
-			data, err := os.ReadFile(path)
-			if err != nil {
-				continue
-			}
-			snap, err := DecodeSnapshot(data)
+			// Either on-disk form pins its keys: a delta chain or a
+			// single full encoding.
+			snap, err := LoadSnapshotFile(path)
 			if err != nil {
 				continue // corrupt snapshots pin nothing
 			}
@@ -112,6 +110,11 @@ func GCDir(dir string, extraLive []Key, budgetBytes int64) (GCStats, error) {
 			for _, k := range snap.Keys() {
 				live[k] = true
 			}
+		case strings.HasSuffix(name, ".wal"):
+			// Write-ahead journal segments belong to the WAL's own
+			// retirement protocol: they hold puts whose write-back has
+			// not confirmed, and GC must never touch them.
+			continue
 		case strings.HasSuffix(name, ".ipcs"):
 			raw, err := hex.DecodeString(strings.TrimSuffix(name, ".ipcs"))
 			if err != nil || len(raw) != len(Key{}) {
@@ -126,6 +129,10 @@ func GCDir(dir string, extraLive []Key, budgetBytes int64) (GCStats, error) {
 			st.Scanned++
 			st.ScannedBytes += info.Size()
 			blobs = append(blobs, blob{key: key, path: path, size: info.Size(), mod: info.ModTime().UnixNano()})
+		default:
+			// GC deletes only files it can prove it owns; anything with
+			// an unknown extension is someone else's.
+			continue
 		}
 	}
 	st.LiveKeys = len(live)

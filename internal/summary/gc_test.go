@@ -164,3 +164,97 @@ func TestGCDirSkipsCorruptSnapshots(t *testing.T) {
 		t.Fatalf("unexpected stats: %+v", st)
 	}
 }
+
+// TestGCDirIgnoresForeignFiles pins the ownership rule: GC deletes
+// only files it can prove are unreferenced store blobs. WAL segments,
+// notes, badly named .ipcs files — anything else in the directory —
+// must survive a sweep untouched.
+func TestGCDirIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kDead := KeyOf("dead")
+	if err := store.Put(kDead, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	foreign := []string{
+		"wal-0000000000000001.wal", // journal segment: WAL retirement owns it
+		"notes.txt",                // a user's file
+		"README",                   // no extension at all
+		"not-hex-at-all.ipcs",      // .ipcs but not a key of ours
+		"abcd.ipcs",                // valid hex, wrong length
+		".chain-tmp123",            // an in-flight chain rewrite temp
+	}
+	for _, name := range foreign {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("foreign"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := GCDir(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the one owned, unreferenced blob goes.
+	if st.Scanned != 1 || st.Unreferenced != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	for _, name := range foreign {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("GC deleted foreign file %s: %v", name, err)
+		}
+	}
+	if _, ok := store.Get(kDead); ok {
+		t.Error("unreferenced entry survived GC")
+	}
+}
+
+// TestGCDirPinsChainSnapshots checks a delta-chain snapshot file pins
+// the keys of its folded (latest) state just like a legacy full
+// encoding does.
+func TestGCDirPinsChainSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kOld, kNew, kDead := KeyOf("old"), KeyOf("new"), KeyOf("dead")
+	for _, k := range []Key{kOld, kNew, kDead} {
+		if err := store.Put(k, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "snapshot-chain.snap")
+	parent := &Snapshot{ConfigKey: "cfg", GlobalsHash: "g", Procs: map[string]ProcStamp{
+		"a": {SourceHash: "h1", Key: kOld},
+	}}
+	if _, err := SaveSnapshotChain(path, parent, DeltaPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	child := &Snapshot{ConfigKey: "cfg", GlobalsHash: "g", Procs: map[string]ProcStamp{
+		"a": {SourceHash: "h2", Key: kNew},
+	}}
+	if _, err := SaveSnapshotChain(path, child, DeltaPolicy{MaxDeltas: 8, MaxRatio: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := GCDir(dir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshots != 1 {
+		t.Fatalf("chain snapshot not consulted: %+v", st)
+	}
+	// The chain folds to the child: kNew is live, kOld and kDead are not.
+	if _, ok := store.Get(kNew); !ok {
+		t.Error("chain-referenced key was collected")
+	}
+	for _, k := range []Key{kOld, kDead} {
+		if _, ok := store.Get(k); ok {
+			t.Errorf("unreferenced key %s survived GC", k)
+		}
+	}
+}

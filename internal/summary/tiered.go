@@ -1,6 +1,12 @@
 package summary
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipcp/internal/wal"
+)
 
 // TieredStore composes stores into a cache hierarchy — typically
 // memory in front of disk in front of a remote — with read-through
@@ -13,11 +19,24 @@ type TieredStore struct {
 	tiers []Store
 	counters
 
+	// journal, when non-nil, logs every accepted Put before it is
+	// acknowledged; a record is confirmed back (retiring its segment
+	// once drained) only after every backing tier's write-back
+	// succeeded, so a crash at any point loses no acknowledged put.
+	journal *wal.Journal
+
 	// Write-back to the slower tiers runs on background goroutines,
 	// bounded by sem so a burst of Puts cannot pile up unbounded
 	// concurrency against a remote.
 	wg  sync.WaitGroup
 	sem chan struct{}
+
+	// flushErr holds the first asynchronous failure — a write-back or
+	// journal error the Put that caused it could not return — surfaced
+	// by FlushErr so shutdown paths can report instead of silently
+	// dropping it.
+	flushMu  sync.Mutex
+	flushErr error
 }
 
 // writeBackWorkers bounds the concurrent background Puts draining into
@@ -34,6 +53,18 @@ func NewTieredStore(tiers ...Store) *TieredStore {
 		panic("summary: NewTieredStore needs at least one tier")
 	}
 	return &TieredStore{tiers: tiers, sem: make(chan struct{}, writeBackWorkers)}
+}
+
+// NewDurableTieredStore is NewTieredStore with a write-ahead journal:
+// every accepted Put is appended to j before it is acknowledged, and
+// j's segments retire only once the asynchronous write-backs confirm
+// every backing tier. With a single tier the journal itself is the
+// durable copy and records are never confirmed — recovery replays
+// them into whatever stack the next open builds.
+func NewDurableTieredStore(j *wal.Journal, tiers ...Store) *TieredStore {
+	s := NewTieredStore(tiers...)
+	s.journal = j
+	return s
 }
 
 // Get implements Store: the first tier that has the value wins, and
@@ -55,30 +86,136 @@ func (s *TieredStore) Get(k Key) ([]byte, bool) {
 	return nil, false
 }
 
-// Put implements Store: synchronous into the first tier (so the value
-// is immediately visible to this process), write-back into the rest in
-// the background.
+// Put implements Store: journaled first (when a journal is attached),
+// then synchronous into the first tier (so the value is immediately
+// visible to this process), write-back into the rest in the
+// background. The journal record is confirmed — making its segment
+// retirable — only when every backing tier's write-back succeeded; a
+// failed write-back leaves the record on disk for the next open's
+// recovery to retry, and a failed journal append degrades to the
+// unjournaled behavior (counted in Errors and FlushErr) rather than
+// refusing the put.
 func (s *TieredStore) Put(k Key, v []byte) error {
+	var seq uint64
+	logged := false
+	if s.journal != nil {
+		if sq, jerr := s.journal.Append(wal.Key(k), v); jerr == nil {
+			seq, logged = sq, true
+		} else {
+			s.errors.Add(1)
+			s.noteErr(fmt.Errorf("summary: wal append: %w", jerr))
+		}
+	}
 	err := s.tiers[0].Put(k, v)
 	if err == nil {
 		s.puts.Add(1)
 		s.putBytes.Add(int64(len(v)))
 	}
-	for _, t := range s.tiers[1:] {
+	rest := s.tiers[1:]
+	if len(rest) == 0 {
+		return err
+	}
+	// One confirmation per put: the last write-back to finish confirms,
+	// unless any of them failed.
+	var remaining atomic.Int32
+	var failed atomic.Bool
+	remaining.Store(int32(len(rest)))
+	for _, t := range rest {
 		t := t
 		s.wg.Add(1)
 		s.sem <- struct{}{}
 		go func() {
 			defer func() { <-s.sem; s.wg.Done() }()
-			_ = t.Put(k, v)
+			if perr := t.Put(k, v); perr != nil {
+				failed.Store(true)
+				s.noteErr(perr)
+			}
+			if remaining.Add(-1) == 0 && logged && !failed.Load() {
+				s.journal.Confirm(seq)
+			}
 		}()
 	}
 	return err
 }
 
+func (s *TieredStore) noteErr(err error) {
+	s.flushMu.Lock()
+	if s.flushErr == nil {
+		s.flushErr = err
+	}
+	s.flushMu.Unlock()
+}
+
 // Flush blocks until every pending write-back has drained — tests and
-// process shutdown call it so slower tiers are complete.
-func (s *TieredStore) Flush() { s.wg.Wait() }
+// process shutdown call it so slower tiers are complete — then retires
+// the journal's fully confirmed segments, so a clean shutdown leaves
+// nothing for the next boot to replay.
+func (s *TieredStore) Flush() {
+	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.Sweep()
+	}
+}
+
+// FlushErr returns the first error any asynchronous write-back or
+// journal operation has hit since the store was opened (sticky; nil
+// when everything drained cleanly). Put cannot return these — they
+// happen after it acknowledged — so shutdown paths check here instead
+// of silently dropping them.
+func (s *TieredStore) FlushErr() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flushErr
+}
+
+// Close flushes pending write-backs, retires what the journal can
+// retire, and closes it — unconfirmed records stay on disk for the
+// next open's recovery. It returns FlushErr, so callers logging the
+// close also surface any write-back the shutdown is abandoning.
+func (s *TieredStore) Close() error {
+	s.Flush()
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.noteErr(err)
+		}
+	}
+	return s.FlushErr()
+}
+
+// Journal exposes the attached write-ahead journal (nil without one) —
+// servers read its Stats for metrics.
+func (s *TieredStore) Journal() *wal.Journal { return s.journal }
+
+// ReplayStats counts one journal recovery.
+type ReplayStats struct {
+	Replayed int // records re-put into the store
+	Skipped  int // records whose key was already present
+	Corrupt  int // torn or corrupt records dropped at open
+}
+
+// RecoverJournal replays j's surviving records into store — skipping
+// keys already present, re-putting the rest — and drops the recovered
+// segments. Call it at boot, after building the store stack but before
+// serving: when store is itself journaled by j, the re-puts land in
+// fresh segments, so dropping the old ones loses nothing. An error
+// aborts the replay with the segments kept for the next boot.
+func RecoverJournal(j *wal.Journal, store Store) (ReplayStats, error) {
+	var rs ReplayStats
+	wst, err := wal.Recover(j, func(k wal.Key, v []byte) error {
+		key := Key(k)
+		if _, ok := store.Get(key); ok {
+			rs.Skipped++
+			return nil
+		}
+		if err := store.Put(key, v); err != nil {
+			return err
+		}
+		rs.Replayed++
+		return nil
+	})
+	rs.Corrupt = wst.Corrupt
+	return rs, err
+}
 
 // Stats implements Store. The hit/miss/put counters are the stack's
 // own (one logical lookup regardless of how many tiers it probed);

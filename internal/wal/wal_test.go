@@ -1,0 +1,324 @@
+package wal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func keyOf(s string) Key { return sha256.Sum256([]byte(s)) }
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// collect replays a fresh open of dir into a map.
+func collect(t *testing.T, dir string) map[Key][]byte {
+	t.Helper()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := make(map[Key][]byte)
+	if err := j.Replay(func(k Key, p []byte) error {
+		got[k] = append([]byte(nil), p...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[Key][]byte)
+	for i := 0; i < 20; i++ {
+		k := keyOf(fmt.Sprintf("k%d", i))
+		v := bytes.Repeat([]byte{byte(i)}, i*13)
+		want[k] = v
+		if _, err := j.Append(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collect(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("record %x not bit-identical after replay", k[:4])
+		}
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(keyOf(fmt.Sprintf("k%d", i)), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail: append half of a valid record, as a crash
+	// mid-write would leave it.
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	rec := EncodeRecord(keyOf("torn"), []byte("never acknowledged"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(rec[:len(rec)/2])
+	f.Close()
+	before, _ := os.Stat(path)
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.RecoverStats()
+	if st.Records != 3 || st.Corrupt != 1 || st.Segments != 1 {
+		t.Fatalf("recover stats = %+v, want 3 records, 1 corrupt, 1 segment", st)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	n := 0
+	j2.Replay(func(Key, []byte) error { n++; return nil })
+	if n != 3 {
+		t.Fatalf("replayed %d records past a torn tail, want 3", n)
+	}
+}
+
+func TestBitFlipTruncatesFromFlippedRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	var recs [][]byte
+	for i := 0; i < 3; i++ {
+		v := []byte(fmt.Sprintf("payload-%d", i))
+		recs = append(recs, EncodeRecord(keyOf(fmt.Sprintf("k%d", i)), v))
+		if _, err := j.Append(keyOf(fmt.Sprintf("k%d", i)), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip one payload byte inside the second record: recovery must
+	// keep record 1 and drop 2 and 3 (a corrupt record hides where the
+	// next one starts).
+	path := filepath.Join(dir, segFiles(t, dir)[0])
+	data, _ := os.ReadFile(path)
+	off := segHeaderSize + len(recs[0]) + recHeaderSize // first payload byte of record 2
+	data[off] ^= 0x40
+	os.WriteFile(path, data, 0o644)
+
+	got := collect(t, dir)
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records after a bit flip, want 1", len(got))
+	}
+	if string(got[keyOf("k0")]) != "payload-0" {
+		t.Fatal("surviving record not intact")
+	}
+}
+
+func TestRotationAndRetirement(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record rotates.
+	j, err := Open(dir, Options{SegmentBytes: recHeaderSize + 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for i := 0; i < 4; i++ {
+		seq, err := j.Append(keyOf(fmt.Sprintf("k%d", i)), []byte("12345678"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	if st := j.Stats(); st.SegmentsCreated != 4 {
+		t.Fatalf("segments created = %d, want 4", st.SegmentsCreated)
+	}
+	// Confirming records in sealed segments retires them; the active
+	// segment's confirm retires nothing until Sweep.
+	for _, seq := range seqs {
+		j.Confirm(seq)
+	}
+	if st := j.Stats(); st.SegmentsRetired != 3 || st.LiveSegments != 1 {
+		t.Fatalf("stats after confirm = %+v, want 3 retired, 1 live", st)
+	}
+	j.Sweep()
+	if st := j.Stats(); st.SegmentsRetired != 4 || st.LiveSegments != 0 {
+		t.Fatalf("stats after sweep = %+v, want 4 retired, 0 live", st)
+	}
+	if segs := segFiles(t, dir); len(segs) != 0 {
+		t.Fatalf("segments on disk after full retirement: %v", segs)
+	}
+	j.Close()
+}
+
+func TestUnconfirmedSurvivesSweepAndClose(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	if _, err := j.Append(keyOf("pending"), []byte("not yet written back")); err != nil {
+		t.Fatal(err)
+	}
+	j.Sweep() // pending record: must keep the segment
+	if segs := segFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("sweep deleted a segment with pending records: %v", segs)
+	}
+	j.Close()
+	got := collect(t, dir)
+	if string(got[keyOf("pending")]) != "not yet written back" {
+		t.Fatal("unconfirmed record lost across close/open")
+	}
+}
+
+func TestCrashAfterHook(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	j.CrashAfter(2, 10)
+	if _, err := j.Append(keyOf("a"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(keyOf("b"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(keyOf("c"), []byte("torn")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append at crash point: err = %v, want ErrCrashed", err)
+	}
+	if _, err := j.Append(keyOf("d"), []byte("dead")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append after crash: err = %v, want ErrCrashed", err)
+	}
+	// No Close — the crash abandoned the journal. Recovery must see
+	// exactly the two acknowledged records, with the torn third
+	// truncated away.
+	got := collect(t, dir)
+	if len(got) != 2 || string(got[keyOf("a")]) != "one" || string(got[keyOf("b")]) != "two" {
+		t.Fatalf("recovered %d records = %q, want the 2 acknowledged", len(got), got)
+	}
+}
+
+func TestRecoverDropsSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	j.Append(keyOf("x"), []byte("x"))
+	j.Close()
+
+	j2, _ := Open(dir, Options{})
+	n := 0
+	st, err := Recover(j2, func(Key, []byte) error { n++; return nil })
+	if err != nil || n != 1 || st.Records != 1 {
+		t.Fatalf("recover: n=%d stats=%+v err=%v", n, st, err)
+	}
+	j2.Close()
+	if segs := segFiles(t, dir); len(segs) != 0 {
+		t.Fatalf("recovered segments not dropped: %v", segs)
+	}
+}
+
+func TestRecoverAbortKeepsSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	j.Append(keyOf("x"), []byte("x"))
+	j.Close()
+
+	j2, _ := Open(dir, Options{})
+	boom := errors.New("put failed")
+	if _, err := Recover(j2, func(Key, []byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("recover error = %v, want the put's", err)
+	}
+	j2.Close()
+	if segs := segFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("aborted recovery dropped segments: %v", segs)
+	}
+}
+
+func TestBadHeaderSegmentCounted(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000000000000aa.wal"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if st := j.RecoverStats(); st.BadSegments != 1 || st.Records != 0 {
+		t.Fatalf("recover stats = %+v, want 1 bad segment", st)
+	}
+	// A fresh append must not collide with the unreadable segment's seq.
+	if seq, err := j.Append(keyOf("k"), []byte("v")); err != nil || seq <= 0xaa {
+		t.Fatalf("append after bad segment: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestScanRecordCanonical(t *testing.T) {
+	rec := EncodeRecord(keyOf("k"), []byte("hello"))
+	k, p, n, err := ScanRecord(append(rec, "trailing"...))
+	if err != nil || n != len(rec) || k != keyOf("k") || string(p) != "hello" {
+		t.Fatalf("scan: k=%x p=%q n=%d err=%v", k[:4], p, n, err)
+	}
+	// Every proper prefix is torn.
+	for i := 0; i < len(rec); i++ {
+		if _, _, _, err := ScanRecord(rec[:i]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Every bit flip is caught by the checksum (or the length guard).
+	for i := 0; i < len(rec); i++ {
+		mut := append([]byte(nil), rec...)
+		mut[i] ^= 0x01
+		if _, _, _, err := ScanRecord(mut); err == nil {
+			t.Fatalf("byte %d flipped: scan succeeded", i)
+		}
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{Sync: SyncAlways})
+	if _, err := j.Append(keyOf("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got := collect(t, dir)
+	if v, ok := got[keyOf("empty")]; !ok || len(v) != 0 {
+		t.Fatalf("empty payload not recovered: %q, %v", v, ok)
+	}
+}

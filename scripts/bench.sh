@@ -16,10 +16,12 @@
 # iteration count, ns/op, and (with -benchmem) B/op and allocs/op —
 # plus req_per_s / p50_ns / p99_ns for the server benchmark,
 # warm_worklist_visited / cold_worklist_visited for the warm-vs-cold
-# re-solve pair, and s1_hit_rate / shared_cache_bytes /
+# re-solve pair, s1_hit_rate / shared_cache_bytes /
 # isolated_cache_bytes for the cross-flavor shared-cache sweep (the
-# flavor-split key payoff) — flat enough for jq or a spreadsheet
-# without a Go-bench parser.
+# flavor-split key payoff), delta_bytes / full_bytes for the snapshot
+# delta-chain benchmark (the delta must stay a small fraction of the
+# full rewrite), and wal_replay_ns for boot-time journal recovery —
+# flat enough for jq or a spreadsheet without a Go-bench parser.
 #
 # Usage: scripts/bench.sh [-quick]
 #   -quick runs each benchmark for 100ms instead of the 1s default,
@@ -52,6 +54,7 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
     iters = $2; ns = $3
     bytes = ""; allocs = ""; reqs = ""; p50 = ""; p99 = ""; warmv = ""; coldv = ""
     s1rate = ""; sharedb = ""; isob = ""
+    deltab = ""; fullb = ""; walns = ""
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
@@ -63,6 +66,9 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
         if ($i == "s1_hit_rate") s1rate = $(i - 1)
         if ($i == "shared_cache_bytes") sharedb = $(i - 1)
         if ($i == "isolated_cache_bytes") isob = $(i - 1)
+        if ($i == "delta_bytes") deltab = $(i - 1)
+        if ($i == "full_bytes") fullb = $(i - 1)
+        if ($i == "wal_replay_ns") walns = $(i - 1)
     }
     if (n++) printf ",\n"
     printf "  {%spackage%s: %s%s%s, %sname%s: %s%s%s, %siterations%s: %s, %sns_per_op%s: %s", \
@@ -77,6 +83,9 @@ BEGIN { printf "{\n%sbenchmarks%s: [\n", q, q }
     if (s1rate != "") printf ", %ss1_hit_rate%s: %s", q, q, s1rate
     if (sharedb != "") printf ", %sshared_cache_bytes%s: %s", q, q, sharedb
     if (isob != "") printf ", %sisolated_cache_bytes%s: %s", q, q, isob
+    if (deltab != "") printf ", %sdelta_bytes%s: %s", q, q, deltab
+    if (fullb != "") printf ", %sfull_bytes%s: %s", q, q, fullb
+    if (walns != "") printf ", %swal_replay_ns%s: %s", q, q, walns
     printf "}"
 }
 END { printf "\n]}\n" }

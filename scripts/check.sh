@@ -22,12 +22,17 @@
 #      analyze ocean through it twice with ipcp -server (the second
 #      run must hit the daemon's resident snapshot), then SIGTERM it
 #      and require a clean graceful drain
-#   9. a fleet smoke run: start ipcpd -workers 2, batch four files
+#   9. a crash-durability smoke: start ipcpd -cache-dir, analyze ocean
+#      through it (every summary acked), kill -9 the daemon, restart it
+#      on the same directory, and require both that the write-ahead
+#      journal metrics are exposed and that a re-run reuses every
+#      summary — a SIGKILL after an acked Put may lose nothing
+#  10. a fleet smoke run: start ipcpd -workers 2, batch four files
 #      whose lineages deterministically span both shards, verify the
 #      routing distribution in /metrics, SIGKILL one worker and require
 #      both immediate failover and a supervised restart, then SIGTERM
 #      the fleet and require a clean drain that reaps every worker
-#  10. a short fuzz smoke of FuzzIncrementalEditChain, the
+#  11. a short fuzz smoke of FuzzIncrementalEditChain, the
 #      warm-vs-scratch differential over fuzzer-chosen edit chains
 #
 # Usage: scripts/check.sh [-short]
@@ -119,6 +124,43 @@ echo "$served" | grep -q '100.0% hit rate' \
 kill -TERM "$ipcpd_pid"
 wait "$ipcpd_pid" \
     || { echo "ipcpd did not drain cleanly:" >&2; cat "$cachedir/ipcpd.log" >&2; exit 1; }
+ipcpd_pid=""
+
+echo "==> WAL durability smoke (ipcpd -cache-dir, kill -9, restart, zero loss)"
+waldir="$cachedir/waldir"
+"$cachedir/ipcpd" -addr 127.0.0.1:0 -cache-dir "$waldir" > "$cachedir/wal.log" 2>&1 &
+ipcpd_pid=$!
+addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    addr=$(sed -n 's/^ipcpd: listening on //p' "$cachedir/wal.log")
+    [ -n "$addr" ] && break
+    sleep 0.25
+done
+[ -n "$addr" ] || { echo "durable ipcpd never reported its address:" >&2; cat "$cachedir/wal.log" >&2; exit 1; }
+# Every summary this run produces is acked — journaled before the
+# response — so none of them may be lost to the SIGKILL that follows,
+# whether or not the async disk write-backs had finished.
+go run ./cmd/ipcp -server "$addr" -suite ocean > /dev/null
+kill -9 "$ipcpd_pid"
+wait "$ipcpd_pid" 2>/dev/null || true
+ipcpd_pid=""
+"$cachedir/ipcpd" -addr 127.0.0.1:0 -cache-dir "$waldir" > "$cachedir/wal2.log" 2>&1 &
+ipcpd_pid=$!
+addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    addr=$(sed -n 's/^ipcpd: listening on //p' "$cachedir/wal2.log")
+    [ -n "$addr" ] && break
+    sleep 0.25
+done
+[ -n "$addr" ] || { echo "restarted ipcpd never reported its address:" >&2; cat "$cachedir/wal2.log" >&2; exit 1; }
+go run ./cmd/ipcp -server "$addr" -metrics | grep -q 'ipcpd_wal_replayed_total' \
+    || { echo "restarted ipcpd does not expose WAL replay metrics" >&2; exit 1; }
+rerun=$(go run ./cmd/ipcp -server "$addr" -suite ocean)
+echo "$rerun" | grep -q '100.0% hit rate' \
+    || { echo "summaries lost across kill -9 (re-run not fully warm):" >&2; echo "$rerun" >&2; cat "$cachedir/wal2.log" >&2; exit 1; }
+kill -TERM "$ipcpd_pid"
+wait "$ipcpd_pid" \
+    || { echo "durable ipcpd did not drain cleanly:" >&2; cat "$cachedir/wal2.log" >&2; exit 1; }
 ipcpd_pid=""
 
 echo "==> fleet smoke (ipcpd -workers 2: cross-shard batch, crash failover, drain)"
