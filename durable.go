@@ -76,6 +76,7 @@ func NewDurableCache(opts DurableCacheOptions) (*SummaryCache, WALReplayStats, e
 	if err != nil {
 		// Replay aborted: the journal keeps its segments for the next
 		// boot, and this one does not open.
+		//lint:ignore codecerr recovery already failed; Close is best-effort cleanup and the replay error is the one reported
 		j.Close()
 		return nil, rs, fmt.Errorf("ipcp: wal recovery: %w", err)
 	}

@@ -332,9 +332,9 @@ func (s *solver) evalOp(i *ir.Instr) lattice.Value {
 		return s.evalLogical(i)
 	}
 
-	vals := make([]lattice.Value, len(i.Args))
+	vals := make([]lattice.Value, 0, len(i.Args))
 	for k := range i.Args {
-		vals[k] = s.operand(i.Args[k])
+		vals = append(vals, s.operand(i.Args[k]))
 		if vals[k].IsBottom() {
 			return lattice.Bottom
 		}

@@ -242,6 +242,7 @@ func signature(sv *core.SiteValues) string {
 
 // cloneName picks an unused name derived from base.
 func cloneName(p *ir.Program, base string, n int) string {
+	//lint:ignore cancelpoll n strictly increases past the finite set of taken names, so the probe terminates
 	for {
 		name := fmt.Sprintf("%s_C%d", base, n)
 		if _, taken := p.ProcByName[name]; !taken {

@@ -695,9 +695,11 @@ func (p *propagation) stage4Record() *Result {
 				Globals: make([]lattice.Value, len(site.Global)),
 			}
 			for i, e := range site.Formal {
+				//lint:ignore latticeflow post-fixpoint recording into a freshly allocated result vector, not a live VAL cell
 				sv.Formals[i] = sym.Eval(e, env)
 			}
 			for k, e := range site.Global {
+				//lint:ignore latticeflow post-fixpoint recording into a freshly allocated result vector, not a live VAL cell
 				sv.Globals[k] = sym.Eval(e, env)
 			}
 			res.SiteVals[call] = sv

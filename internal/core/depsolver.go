@@ -114,6 +114,7 @@ func (p *propagation) stage3PropagateDependence() error {
 		queued[inst] = true
 	}
 	p.seeded = int64(len(work))
+	watch := newDescentWatcher(p.cfg.Debug, "dependence")
 
 	enqueueDependents := func(proc *ir.Proc, formal, global int) {
 		key := inputKey{proc: proc, formal: formal, global: global}
@@ -148,6 +149,7 @@ func (p *propagation) stage3PropagateDependence() error {
 			}
 			nv := lattice.Meet(cf[inst.targetFormal], v)
 			if !nv.Equal(cf[inst.targetFormal]) {
+				watch.observe(inst.callee, "formal", inst.targetFormal, cf[inst.targetFormal], nv)
 				cf[inst.targetFormal] = nv
 				enqueueDependents(inst.callee, inst.targetFormal, -1)
 			}
@@ -156,6 +158,7 @@ func (p *propagation) stage3PropagateDependence() error {
 		cg := p.vals.globals[inst.callee]
 		nv := lattice.Meet(cg[inst.targetGlobal], v)
 		if !nv.Equal(cg[inst.targetGlobal]) {
+			watch.observe(inst.callee, "global", inst.targetGlobal, cg[inst.targetGlobal], nv)
 			cg[inst.targetGlobal] = nv
 			enqueueDependents(inst.callee, -1, inst.targetGlobal)
 		}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipcp/internal/core/lattice"
+	"ipcp/internal/ir"
+)
+
+// descentSrc lowers S's formal twice — ⊤ → 1 at the first site, then
+// 1 → ⊥ at the second — so the watcher observes an update whose old
+// value is a constant, the only point a seeded raise is detectable.
+const descentSrc = `
+PROGRAM MAIN
+  CALL S(1)
+  CALL S(2)
+END
+SUBROUTINE S(N)
+  INTEGER N, X
+  X = N
+  RETURN
+END
+`
+
+// seedDescentFault makes the second lowering of any of S's cells look
+// like a raise: once a cell holds a constant, the faulted next value
+// is ⊤. The fault perturbs only what the watcher sees, never the
+// solve itself.
+func seedDescentFault(t *testing.T) {
+	t.Helper()
+	descentFault = func(proc *ir.Proc, old, next lattice.Value) lattice.Value {
+		if proc.Name == "S" && old.IsConst() {
+			return lattice.Top
+		}
+		return next
+	}
+	t.Cleanup(func() { descentFault = nil })
+}
+
+func TestDescentWatcherNamesOffendingProcedure(t *testing.T) {
+	for _, dep := range []bool{false, true} {
+		solver := "worklist"
+		if dep {
+			solver = "dependence"
+		}
+		t.Run(solver, func(t *testing.T) {
+			seedDescentFault(t)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("seeded raise did not trip the descent watcher")
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, `procedure "S"`) {
+					t.Fatalf("watcher panic does not name the offending procedure: %s", msg)
+				}
+				if !strings.Contains(msg, solver+" solver") {
+					t.Fatalf("watcher panic does not name the %s solver: %s", solver, msg)
+				}
+				if !strings.Contains(msg, "monotone-descent violation") {
+					t.Fatalf("watcher panic does not state the invariant: %s", msg)
+				}
+			}()
+			analyzeSrc(t, descentSrc, Config{Debug: true, DependenceSolver: dep})
+		})
+	}
+}
+
+// TestDescentWatcherSilentOnHealthySolve proves Debug mode does not
+// change results: with no fault seeded, the watched solve completes
+// and agrees with the unwatched one.
+func TestDescentWatcherSilentOnHealthySolve(t *testing.T) {
+	for _, dep := range []bool{false, true} {
+		watched := analyzeSrc(t, descentSrc, Config{Debug: true, DependenceSolver: dep})
+		plain := analyzeSrc(t, descentSrc, Config{DependenceSolver: dep})
+		w, wok := constVal(watched, "S", "N")
+		p, pok := constVal(plain, "S", "N")
+		if wok != pok || w != p {
+			t.Errorf("dep=%v: Debug changed the result: %v,%v vs %v,%v", dep, w, wok, p, pok)
+		}
+	}
+}
+
+// TestDescentWatcherOffWithoutDebug proves the fault hook alone cannot
+// fire the watcher: without Config.Debug there is no watcher to see
+// the perturbed value.
+func TestDescentWatcherOffWithoutDebug(t *testing.T) {
+	seedDescentFault(t)
+	res := analyzeSrc(t, descentSrc, Config{})
+	if res == nil {
+		t.Fatal("analysis failed")
+	}
+}

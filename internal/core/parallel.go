@@ -79,6 +79,7 @@ func parallelFor(workers, n int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			//lint:ignore cancelpoll the shared counter strictly advances to n, so the loop runs at most n iterations; fn itself polls deadlines
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

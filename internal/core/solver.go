@@ -81,6 +81,7 @@ func (p *propagation) stage3Propagate() error {
 		queued[proc] = true
 	}
 	p.seeded = int64(len(work))
+	watch := newDescentWatcher(p.cfg.Debug, "worklist")
 	for len(work) > 0 {
 		if p.cancel != nil {
 			if err := p.cancel(); err != nil {
@@ -113,6 +114,7 @@ func (p *propagation) stage3Propagate() error {
 					v := p.evalJF(site.Formal[i], env)
 					nv := lattice.Meet(cf[i], v)
 					if !nv.Equal(cf[i]) {
+						watch.observe(callee, "formal", i, cf[i], nv)
 						cf[i] = nv
 						changed = true
 					}
@@ -125,6 +127,7 @@ func (p *propagation) stage3Propagate() error {
 					v := p.evalJF(site.Global[k], env)
 					nv := lattice.Meet(cg[k], v)
 					if !nv.Equal(cg[k]) {
+						watch.observe(callee, "global", k, cg[k], nv)
 						cg[k] = nv
 						changed = true
 					}

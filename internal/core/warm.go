@@ -190,6 +190,7 @@ func (p *propagation) warmPrep() map[*ir.Proc]bool {
 	for _, proc := range queue {
 		cone[proc] = true
 	}
+	//lint:ignore cancelpoll BFS over the finite call graph: each procedure enters the cone (and hence the queue) at most once
 	for len(queue) > 0 {
 		proc := queue[0]
 		queue = queue[1:]

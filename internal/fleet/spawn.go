@@ -89,6 +89,7 @@ type lineLogger struct {
 
 func (l *lineLogger) Write(p []byte) (int, error) {
 	l.buf = append(l.buf, p...)
+	//lint:ignore cancelpoll each iteration consumes one newline-terminated line from the finite buffer, then returns
 	for {
 		i := strings.IndexByte(string(l.buf), '\n')
 		if i < 0 {

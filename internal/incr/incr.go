@@ -269,10 +269,12 @@ func (e *Engine) Analyze(sp *sema.Program, cfg core.Config, prev *summary.Snapsh
 		// never wrong.
 		if !sharedHit[name] {
 			if ss, err := encodeShared(proc, n, irp, sums, mods, fps); err == nil {
+				//lint:ignore codecerr cache Put is best-effort here; a failed write only costs a future recomputation (comment above)
 				_ = e.store.Put(sharedKeys[name], summary.EncodeShared(ss))
 			}
 		}
 		if fs, err := encodeFlavor(proc, sums, fps); err == nil {
+			//lint:ignore codecerr cache Put is best-effort here; a failed write only costs a future recomputation (comment above)
 			_ = e.store.Put(flavorKeys[name], summary.EncodeFlavor(fs))
 		}
 	}

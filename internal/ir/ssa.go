@@ -1,5 +1,7 @@
 package ir
 
+import "sort"
+
 // ModOracle answers, during SSA construction, whether a call may modify
 // a by-reference binding. The real oracle is backed by interprocedural
 // MOD summaries; the worst-case oracle (paper §4.2, Table 3 column 1)
@@ -142,6 +144,9 @@ func (p *Proc) placePhis(v *Var, sites map[*Block]bool) {
 	for b := range sites {
 		work = append(work, b)
 	}
+	// The worklist order decides phi insertion order; sort it so SSA
+	// construction is deterministic run to run.
+	sort.Slice(work, func(i, j int) bool { return work[i].ID < work[j].ID })
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// cancelPkgs are the subsystems whose loops sit on request paths: the
+// stage-3 solvers and pass runner (deadline into the solve), the
+// serving daemon, and the fleet router/supervisor. A wedged loop in
+// any of them turns a deadline miss (504) into a stuck worker.
+var cancelPkgs = []string{
+	"ipcp/internal/core",
+	"ipcp/internal/server",
+	"ipcp/internal/fleet",
+}
+
+// CancelPoll enforces the deadline guarantee behind
+// 504-without-wedge: every loop that can iterate unboundedly — a bare
+// `for {}`, a condition-only worklist loop (`for len(work) > 0`), or
+// a channel range — must poll a cancellation signal each iteration:
+// the solver's Config.Cancel hook, ctx.Done()/ctx.Err(), a stop
+// channel receive, or a helper whose name says it polls.
+//
+// Bounded loops (slice/map ranges, three-clause `for i := 0; i < n;
+// i++`) are never flagged. Loops whose unboundedness is illusory —
+// e.g. an LRU eviction loop that strictly shrinks its own condition —
+// are audited false positives and carry //lint:ignore with the
+// argument.
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc: `flag unbounded loops in core/server/fleet with no cancellation poll
+
+A loop that can iterate unboundedly without polling Config.Cancel or
+ctx.Done() outlives its request deadline: the server answers 504 but
+the worker stays wedged on the dead request.`,
+	Run: runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) error {
+	inScope := false
+	for _, p := range cancelPkgs {
+		if pkgPathMatches(pass.Pkg.Path(), p) || strings.HasPrefix(pass.Pkg.Path(), p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Post != nil {
+					return true // three-clause loops advance a bound
+				}
+				if !pollsCancellation(pass.Info, n.Body) {
+					pass.Reportf(n.Pos(),
+						"unbounded loop never polls cancellation; poll Config.Cancel/ctx.Done() (or a stop channel) each iteration so a deadline cannot wedge the worker")
+				}
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					// A channel range parks on the producer, which is
+					// itself a cancellation point only if the producer
+					// closes on shutdown; require an explicit poll in
+					// the body like any other unbounded loop.
+					if !pollsCancellation(pass.Info, n.Body) {
+						pass.Reportf(n.Pos(),
+							"channel-range loop never polls cancellation; poll Config.Cancel/ctx.Done() per message or select on a stop channel")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pollsCancellation reports whether the loop body contains a
+// recognizable cancellation poll.
+func pollsCancellation(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if cancelishCall(info, n) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// A blocking or selected channel receive parks the loop on
+			// an external signal — the stop-channel idiom.
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// cancelishCall reports whether the call is a recognizable poll: a
+// callee whose name mentions cancel/poll, a context Done()/Err(), or
+// the pass Context's Canceled().
+func cancelishCall(info *types.Info, call *ast.CallExpr) bool {
+	var name string
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+		if name == "Done" || name == "Err" {
+			// Only count context-ish receivers: Done() <-chan struct{},
+			// or Err() on something with a Done() — approximated by the
+			// receiver implementing { Done() <-chan struct{} }.
+			if t := info.TypeOf(fn.X); t != nil && hasDoneMethod(t) {
+				return true
+			}
+			return false
+		}
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "cancel") || strings.Contains(lower, "poll") ||
+		lower == "canceled" || lower == "cancelled"
+}
+
+// doneIface is the structural { Done() <-chan struct{} } interface.
+var doneIface = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(0, nil, "Done", types.NewSignatureType(nil, nil, nil, nil,
+		types.NewTuple(types.NewVar(0, nil, "",
+			types.NewChan(types.RecvOnly, types.NewStruct(nil, nil)))), false)),
+}, nil).Complete()
+
+// hasDoneMethod reports whether t looks like a context.Context.
+func hasDoneMethod(t types.Type) bool {
+	if types.Implements(t, doneIface) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), doneIface)
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"ipcp/internal/lint"
+)
+
+// This file speaks the go command's vet-tool protocol, so ipcplint
+// runs as `go vet -vettool=$(pwd)/ipcplint ./...`:
+//
+//   1. cmd/go invokes the tool once with -V=full to obtain a
+//      content-based tool ID for its action cache (handled in
+//      cmd/ipcplint before flag parsing);
+//   2. per compilation unit it writes a JSON config (vet.cfg) naming
+//      the unit's sources, its dependencies' export-data files, and a
+//      facts-output path, then invokes the tool with the config path
+//      as the sole argument;
+//   3. the tool type-checks the unit against the export data, runs
+//      its analyzers, writes the (for ipcplint: empty — no analyzer
+//      exports facts) facts file, prints diagnostics to stderr as
+//      `file:line:col: message [analyzer]`, and exits 2 when it found
+//      any — which cmd/go reports as a vet failure naming analyzer
+//      and position.
+//
+// The config schema below mirrors cmd/go/internal/work.vetConfig;
+// unknown fields are ignored on decode, so the schema may grow.
+
+// VetConfig is the per-unit configuration cmd/go hands a vet tool.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes one vet compilation unit. It returns the process
+// exit code: 0 clean, 1 operational failure, 2 diagnostics reported.
+func RunVet(cfgPath string, analyzers []*lint.Analyzer, out io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(out, "ipcplint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(out, "ipcplint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The facts file must exist for cmd/go to cache the unit; no
+	// ipcplint analyzer exports facts, so it is always empty.
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(out, "ipcplint: writing facts: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Fact-only invocations (dependencies of the vetted packages) have
+	// nothing to compute here.
+	if cfg.VetxOnly {
+		return writeVetx()
+	}
+
+	unit, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx()
+		}
+		fmt.Fprintf(out, "ipcplint: %v\n", err)
+		return 1
+	}
+
+	findings, err := RunAnalyzers(unit, analyzers)
+	if err != nil {
+		fmt.Fprintf(out, "ipcplint: %v\n", err)
+		return 1
+	}
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	return 2
+}
+
+// typecheckUnit parses and type-checks one vet unit against its
+// dependencies' export data.
+func typecheckUnit(cfg *VetConfig) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	info := newInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compilerName(cfg.Compiler), lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return &Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// compilerName normalizes the config's compiler for go/importer.
+func compilerName(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+// Package lint is a static-analysis suite for the analyzer itself: a
+// set of custom checkers encoding the repo's own correctness
+// invariants — deterministic iteration before anything is emitted or
+// hashed, lattice cells that only descend, cancellation polled in
+// every unbounded loop, codec/WAL/store errors never dropped, and a
+// metrics exposition that matches its declarations — run at `go vet`
+// time so invariant drift is caught before the differential sweeps
+// ever get a chance to flake.
+//
+// The package mirrors the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only: the module is dependency-free by policy, so the framework,
+// the drivers (standalone and `go vet -vettool` unitchecker), and the
+// fixture test runner are all hand-rolled over go/ast, go/types, and
+// go/importer.
+//
+// # Suppression policy
+//
+// A finding that an audit decides is a false positive is silenced in
+// place, never globally:
+//
+//	//lint:ignore mapiter order is canonicalized by the codec below
+//	for k, v := range m { ... }
+//
+// The comment names the analyzers it silences (comma-separated) and
+// must carry a reason; it applies to diagnostics reported on its own
+// line or the line directly below it. Unexplained or analyzer-less
+// ignores are themselves reported, so every suppression in the tree
+// documents its audit.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only flags, and
+	// //lint:ignore comments. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description `ipcplint -list` prints;
+	// the first line is the summary.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass hands one package's syntax and types to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report delivers one diagnostic. The driver installs it and
+	// applies the suppression filter before recording.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full ipcplint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		LatticeFlow,
+		CancelPoll,
+		CodecErr,
+		MetricReg,
+	}
+}
+
+// Select resolves a comma-separated -only list against the suite.
+func Select(all []*Analyzer, only string) ([]*Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			known := make([]string, 0, len(all))
+			for _, a := range all {
+				known = append(known, a.Name)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// ignoreRe matches the suppression comment:
+//
+//	//lint:ignore name1,name2 reason...
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// Suppressions indexes the //lint:ignore comments of one package.
+// A key of (file, line) lists the analyzer names silenced at that
+// line; the comment suppresses its own line and the following one, so
+// it can sit on the flagged line or directly above the flagged
+// statement.
+type Suppressions struct {
+	byLine map[suppressKey][]string
+
+	// Malformed collects ignore comments with no analyzer list or no
+	// reason; the driver reports them so suppressions stay audited.
+	Malformed []Diagnostic
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+// BuildSuppressions scans a package's comments for ignore directives.
+func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[suppressKey][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason := m[1], strings.TrimSpace(m[2])
+				if reason == "" {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "lint:ignore needs a reason: //lint:ignore <analyzers> <why this is a false positive>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := suppressKey{file: pos.Filename, line: line}
+						s.byLine[k] = append(s.byLine[k], name)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is silenced by an ignore comment.
+func (s *Suppressions) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	if s == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, n := range s.byLine[suppressKey{file: p.Filename, line: p.Line}] {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}

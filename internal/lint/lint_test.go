@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"ipcp/internal/lint"
+	"ipcp/internal/lint/lintest"
+)
+
+func TestMapIter(t *testing.T) {
+	lintest.Run(t, "testdata", lint.MapIter, "mapiter")
+}
+
+func TestLatticeFlow(t *testing.T) {
+	lintest.Run(t, "testdata", lint.LatticeFlow, "latticeflow")
+}
+
+func TestCancelPoll(t *testing.T) {
+	lintest.Run(t, "testdata", lint.CancelPoll, "core")
+}
+
+func TestCodecErr(t *testing.T) {
+	lintest.Run(t, "testdata", lint.CodecErr, "codecerr")
+}
+
+func TestMetricReg(t *testing.T) {
+	lintest.Run(t, "testdata", lint.MetricReg, "server")
+}
+
+func TestSelect(t *testing.T) {
+	all := lint.All()
+	picked, err := lint.Select(all, "mapiter,codecerr")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(picked) != 2 || picked[0].Name != "mapiter" || picked[1].Name != "codecerr" {
+		t.Fatalf("Select picked %v", picked)
+	}
+	if _, err := lint.Select(all, "nosuch"); err == nil {
+		t.Fatal("Select accepted an unknown analyzer")
+	}
+	whole, err := lint.Select(all, "")
+	if err != nil || len(whole) != len(all) {
+		t.Fatalf("empty -only should select the whole suite, got %d, %v", len(whole), err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package lintest runs lint analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` comments — the
+// analysistest analogue for the stdlib-only suite.
+//
+// Fixtures live under <testdata>/src/<path>. Imports between fixture
+// packages resolve under the same root, so a fixture can import a stub
+// "lattice" or "summary" package whose one-segment path matches the
+// real package by final segment (see pkgPathMatches in package lint);
+// stdlib imports resolve through the toolchain's compiled export data.
+//
+// A want comment sits on the line the diagnostic is expected on and
+// holds one or more patterns, each matched (as a regexp search)
+// against one diagnostic's message:
+//
+//	keys = append(keys, k) // want `accumulates map keys`
+//
+// Diagnostics with no matching want, and wants with no matching
+// diagnostic, are test failures. Suppression comments work exactly as
+// in production: the findings are filtered through the same driver.
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ipcp/internal/lint"
+	"ipcp/internal/lint/driver"
+)
+
+// Run applies one analyzer to each fixture package rooted at
+// <testdata>/src and reports every mismatch against the fixtures'
+// want comments as a test error.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range paths {
+		unit, err := l.unit(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := driver.RunAnalyzers(unit, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, unit, findings)
+	}
+}
+
+// An expectation is one want pattern anchored to a file and line.
+type expectation struct {
+	file      string
+	line      int
+	re        *regexp.Regexp
+	satisfied bool
+}
+
+// wantArgRe splits a want comment's payload into quoted patterns:
+// double-quoted Go strings or backquoted raw strings.
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants extracts the expectations from a fixture's comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				payload, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				args := wantArgRe.FindAllString(payload, -1)
+				if len(args) == 0 {
+					t.Errorf("%s: want comment has no quoted pattern: %q", pos, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					pat := arg
+					if strings.HasPrefix(arg, "\"") {
+						unq, err := strconv.Unquote(arg)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, arg, err)
+							continue
+						}
+						pat = unq
+					} else {
+						pat = strings.Trim(arg, "`")
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkExpectations matches findings against wants one-to-one.
+func checkExpectations(t *testing.T, unit *driver.Unit, findings []driver.Finding) {
+	t.Helper()
+	wants := parseWants(t, unit.Fset, unit.Files)
+	type lineKey struct {
+		file string
+		line int
+	}
+	byLine := make(map[lineKey][]*expectation)
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range byLine[lineKey{f.Pos.Filename, f.Pos.Line}] {
+			if !w.satisfied && w.re.MatchString(f.Message) {
+				w.satisfied = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.satisfied {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// A loader resolves fixture packages from source and everything else
+// from the toolchain's export data, all on one shared FileSet.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]loadResult
+	std     types.Importer
+	exports map[string]string
+}
+
+type loadResult struct {
+	u   *driver.Unit
+	err error
+}
+
+func newLoader(srcRoot string) *loader {
+	l := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		cache:   make(map[string]loadResult),
+		exports: make(map[string]string),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.lookupStd)
+	return l
+}
+
+// lookupStd resolves a non-fixture import to its compiled export data
+// via the go command (the same offline mechanism the standalone
+// driver uses).
+func (l *loader) lookupStd(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: fixture-root packages first,
+// stdlib for everything else.
+func (l *loader) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		u, err := l.unit(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// unit loads (or returns the cached) fixture package at path.
+func (l *loader) unit(path string) (*driver.Unit, error) {
+	if r, ok := l.cache[path]; ok {
+		return r.u, r.err
+	}
+	// Seed the cache so a cyclic fixture import fails instead of
+	// recursing forever.
+	l.cache[path] = loadResult{err: fmt.Errorf("fixture import cycle through %q", path)}
+	u, err := l.load(path)
+	l.cache[path] = loadResult{u: u, err: err}
+	return u, err
+}
+
+func (l *loader) load(path string) (*driver.Unit, error) {
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture sources in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	return &driver.Unit{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter enforces the determinism invariant behind everything the
+// analyzer emits or hashes: Go map iteration order is random, so a
+// `range` over a map must never feed an order-sensitive sink — an
+// io.Writer (exposition, codec output), a hash (codec checksums,
+// Merkle cone keys, jump-function fingerprints), or an encoder —
+// directly, and a slice accumulated from one must be sorted before
+// anything downstream can observe its order.
+//
+// Flagged:
+//   - a map-range body that calls fmt.Fprint*/Write*/Encode* on a
+//     writer, hash, or codec writer (no sort can repair in-loop
+//     emission);
+//   - a map-range body that appends to a slice declared outside the
+//     loop, when no later statement of the enclosing function passes
+//     that slice to sort.* / slices.Sort*.
+//
+// The collect-sort-emit idiom used throughout the repo is the
+// negative case and is never flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: `flag map iteration feeding order-sensitive sinks without a sort
+
+Map ranges that write to an io.Writer/hash/encoder, or that accumulate
+a slice that is never sorted afterwards, leak randomized iteration
+order into emitted bytes, cache keys, and fingerprints — the
+determinism invariant behind codec V3/V4, Merkle cone keys, and the
+/metrics exposition.`,
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		withStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapRange(pass.Info, rng) {
+				return true
+			}
+			checkMapRange(pass, rng, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range loop.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	// appended maps each outer slice object to the first append site.
+	appended := make(map[types.Object]token.Pos)
+	var appendOrder []types.Object
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sink, what := emissionSink(pass.Info, n); sink {
+				pass.Reportf(n.Pos(),
+					"map iteration feeds %s; iteration order is randomized — collect and sort keys first", what)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				// Only slices declared outside the loop can leak the
+				// iteration order past it.
+				if obj == nil || insideNode(obj.Pos(), rng) {
+					continue
+				}
+				if _, seen := appended[obj]; !seen {
+					appended[obj] = n.Pos()
+					appendOrder = append(appendOrder, obj)
+				}
+			}
+		}
+		return true
+	})
+
+	if len(appendOrder) == 0 {
+		return
+	}
+	fn := enclosingFuncBody(stack)
+	for _, obj := range appendOrder {
+		if fn != nil && sortedAfter(pass.Info, fn, obj, rng.End()) {
+			continue
+		}
+		pass.Reportf(appended[obj],
+			"slice %q accumulates map keys in randomized order and is never sorted afterwards — sort it before it is emitted or hashed", obj.Name())
+	}
+}
+
+// emissionSink classifies a call inside a map-range body as an
+// order-sensitive emission.
+func emissionSink(info *types.Info, call *ast.CallExpr) (bool, string) {
+	if fn := calleeFunc(info, call); fn != nil {
+		if pkgMatches(fn.Pkg(), "fmt") && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return true, "an io.Writer via fmt." + fn.Name()
+		}
+		if strings.HasPrefix(fn.Name(), "Encode") && fn.Pkg() != nil {
+			return true, "encoder " + fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		recv := info.TypeOf(sel.X)
+		if implementsWriter(recv) {
+			return true, "an io.Writer/hash via " + sel.Sel.Name
+		}
+	}
+	// The summary codec's writer helpers (w.str, w.bytes, ...) emit
+	// into the encoded blob; any method on a codec writer counts.
+	if recv := info.TypeOf(sel.X); recv != nil {
+		name := typeName(recv)
+		if strings.Contains(strings.ToLower(name), "writer") || strings.HasSuffix(name, "Encoder") {
+			return true, "codec writer method ." + sel.Sel.Name
+		}
+	}
+	return false, ""
+}
+
+// typeName returns the bare name of a (possibly pointer) named type.
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// insideNode reports whether pos falls within node's span.
+func insideNode(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos < node.End()
+}
+
+// enclosingFuncBody returns the innermost function body on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.Sort*
+// call (directly or inside a closure argument) at a position after
+// the range loop within the enclosing function body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		// sort.* and slices.Sort* count, and so does any local helper
+		// whose name says it sorts (the repo's dependency-free
+		// insertion sorts).
+		isSort := pkgMatches(fn.Pkg(), "sort") ||
+			(pkgMatches(fn.Pkg(), "slices") && strings.HasPrefix(fn.Name(), "Sort")) ||
+			strings.Contains(strings.ToLower(fn.Name()), "sort")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentionsObj(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

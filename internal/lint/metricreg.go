@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricPkgs are the packages whose /metrics expositions are checked
+// against their declarations.
+var metricPkgs = []string{
+	"ipcp/internal/server",
+	"ipcp/internal/fleet",
+}
+
+// MetricReg cross-checks a metrics struct against its exposition: a
+// counter or histogram that is declared (an atomic.Int64 or
+// *Histogram field of a struct that owns a `write` exposition method)
+// but never rendered is a silent observability gap — the regression
+// it would have caught scrolls by uncounted; conversely an exposition
+// line whose value is a bare literal is a metric that no declared
+// counter backs, and a metric name emitted twice corrupts the
+// Prometheus exposition outright.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc: `cross-check declared counters/histograms against the /metrics exposition
+
+Every atomic.Int64 / *Histogram field of a metrics struct must be
+written into the struct's exposition (write) method; every exposed
+series must be backed by state rather than a literal; no metric name
+may be exposed twice.`,
+	Run: runMetricReg,
+}
+
+func runMetricReg(pass *Pass) error {
+	inScope := false
+	for _, p := range metricPkgs {
+		if pkgPathMatches(pass.Pkg.Path(), p) || strings.HasPrefix(pass.Pkg.Path(), p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	// Pass 1: find exposition methods — methods named `write` or
+	// `Write` whose first parameter is an io.Writer — keyed by their
+	// receiver's named type.
+	writeMethods := make(map[*types.TypeName]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "write" && fd.Name.Name != "Write" {
+				continue
+			}
+			params := fd.Type.Params
+			if params == nil || len(params.List) == 0 {
+				continue
+			}
+			if t := pass.Info.TypeOf(params.List[0].Type); !implementsWriter(t) {
+				continue
+			}
+			if tn := recvTypeName(pass.Info, fd); tn != nil {
+				writeMethods[tn] = fd
+			}
+		}
+	}
+	if len(writeMethods) == 0 {
+		return nil
+	}
+
+	// Pass 2: for each struct owning an exposition, collect its metric
+	// fields and check each is referenced inside the write body; then
+	// audit the write body's emitted names and value expressions.
+	names := make([]*types.TypeName, 0, len(writeMethods))
+	for tn := range writeMethods {
+		names = append(names, tn)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Pos() < names[j].Pos() })
+	for _, tn := range names {
+		fd := writeMethods[tn]
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if !isMetricField(field.Type()) {
+				continue
+			}
+			if !fieldMentioned(pass.Info, fd.Body, field) {
+				pass.Reportf(field.Pos(),
+					"metric field %s.%s is declared but never written to the exposition in %s.%s — the series will silently not exist",
+					tn.Name(), field.Name(), tn.Name(), fd.Name.Name)
+			}
+		}
+		auditExposition(pass, fd)
+	}
+	return nil
+}
+
+// recvTypeName resolves a method's receiver to its named type.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isMetricField reports whether a field holds metric state: an
+// atomic.Int64, a *Histogram, or a slice/map of *Histogram.
+func isMetricField(t types.Type) bool {
+	switch tt := t.Underlying().(type) {
+	case *types.Slice:
+		return isHistogram(tt.Elem())
+	case *types.Map:
+		return isHistogram(tt.Elem())
+	}
+	return namedFrom(t, "sync/atomic", "Int64") || isHistogram(t)
+}
+
+// isHistogram reports whether t is a (pointer to a) type named
+// Histogram — the shared fixed-bucket histogram.
+func isHistogram(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Histogram"
+}
+
+// fieldMentioned reports whether the write body selects the field.
+func fieldMentioned(info *types.Info, body *ast.BlockStmt, field *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok && s.Obj() == field {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// metricNameRe is the shape of an exposed series name.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// auditExposition checks the emission calls inside one write method:
+// counter/gauge helper calls and Histogram.Expose calls. Duplicate
+// names corrupt the exposition; a literal value argument means the
+// series is not backed by any declared state.
+func auditExposition(pass *Pass, fd *ast.FuncDecl) {
+	seen := make(map[string]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		helper, nameIdx, valIdx := emissionCall(call)
+		if !helper {
+			return true
+		}
+		name, ok := stringLit(call.Args[nameIdx])
+		if !ok || !metricNameRe.MatchString(name) {
+			return true
+		}
+		if prev, dup := seen[name]; dup {
+			pass.Reportf(call.Args[nameIdx].Pos(),
+				"metric %q exposed twice (previous emission at %s) — duplicate series corrupt the exposition",
+				name, pass.Fset.Position(prev))
+		} else {
+			seen[name] = call.Args[nameIdx].Pos()
+		}
+		if valIdx >= 0 && valIdx < len(call.Args) && !mentionsState(pass.Info, call.Args[valIdx]) {
+			pass.Reportf(call.Args[valIdx].Pos(),
+				"metric %q is exposed with a constant value — no declared counter backs it", name)
+		}
+		return true
+	})
+}
+
+// emissionCall classifies a call inside write as a series emission:
+// counter(name, help, v) / gauge(name, help, v) helpers (nameIdx 0,
+// valIdx 2) or h.Expose(w, name, labels) (nameIdx 1, no value).
+func emissionCall(call *ast.CallExpr) (ok bool, nameIdx, valIdx int) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if (fn.Name == "counter" || fn.Name == "gauge") && len(call.Args) >= 3 {
+			return true, 0, 2
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "Expose" && len(call.Args) >= 2 {
+			return true, 1, -1
+		}
+	}
+	return false, 0, -1
+}
+
+// stringLit extracts a constant string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+// mentionsState reports whether the value expression references any
+// variable (receiver field, parameter, or derived local) — i.e. the
+// series is backed by state rather than a hardcoded literal.
+func mentionsState(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				found = true
+				return false
+			}
+			if _, isFn := obj.(*types.Func); isFn {
+				found = true // a sampled accessor counts as state
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	//lint:ignore mapiter audited: consumed as a set
+	x := 1
+	_ = x
+	//lint:ignore mapiter
+	y := 2
+	_ = y
+	//lint:ignore all everything here is audited
+	z := 3
+	_ = z
+}
+`
+
+func buildSuppressions(t *testing.T) (*token.FileSet, *Suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, BuildSuppressions(fset, []*ast.File{f})
+}
+
+func lineStart(t *testing.T, fset *token.FileSet, line int) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestSuppressionCoversCommentAndNextLine(t *testing.T) {
+	fset, s := buildSuppressions(t)
+	if !s.Suppressed(fset, "mapiter", lineStart(t, fset, 4)) {
+		t.Error("comment line itself not suppressed")
+	}
+	if !s.Suppressed(fset, "mapiter", lineStart(t, fset, 5)) {
+		t.Error("line below the comment not suppressed")
+	}
+	if s.Suppressed(fset, "mapiter", lineStart(t, fset, 6)) {
+		t.Error("suppression leaked two lines past the comment")
+	}
+	if s.Suppressed(fset, "latticeflow", lineStart(t, fset, 5)) {
+		t.Error("suppression applied to an analyzer it does not name")
+	}
+}
+
+func TestSuppressionAllWildcard(t *testing.T) {
+	fset, s := buildSuppressions(t)
+	for _, name := range []string{"mapiter", "latticeflow", "cancelpoll"} {
+		if !s.Suppressed(fset, name, lineStart(t, fset, 11)) {
+			t.Errorf("all-wildcard did not silence %s", name)
+		}
+	}
+}
+
+func TestSuppressionWithoutReasonIsMalformed(t *testing.T) {
+	fset, s := buildSuppressions(t)
+	if len(s.Malformed) != 1 {
+		t.Fatalf("got %d malformed suppressions, want 1", len(s.Malformed))
+	}
+	if got := fset.Position(s.Malformed[0].Pos).Line; got != 7 {
+		t.Errorf("malformed suppression reported at line %d, want 7", got)
+	}
+	if !strings.Contains(s.Malformed[0].Message, "needs a reason") {
+		t.Errorf("malformed message %q does not explain the policy", s.Malformed[0].Message)
+	}
+	// A reasonless ignore must not silence anything.
+	if s.Suppressed(fset, "mapiter", lineStart(t, fset, 8)) {
+		t.Error("reasonless ignore still suppressed the next line")
+	}
+}

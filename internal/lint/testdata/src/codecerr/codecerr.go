@@ -1,0 +1,55 @@
+// Package codecerr exercises the discarded-error shapes against the
+// summary and wal stubs (positive cases) and the contract-honoring
+// handling idiom (negative cases).
+package codecerr
+
+import (
+	"summary"
+	"wal"
+)
+
+// discard drops contract errors in every statement position.
+func discard(s *summary.Store, j *wal.Journal, k summary.Key) {
+	s.Put(k, nil)    // want `call discards its error result`
+	defer j.Close()  // want `deferred call discards its error result`
+	go j.Append(nil) // want `goroutine call discards its error result`
+}
+
+// blanks launders contract errors through the blank identifier.
+func blanks(s *summary.Store, k summary.Key) int {
+	_ = s.Put(k, nil)           // want `error from summary.Put assigned to _`
+	v, _ := summary.Decode(nil) // want `error from summary.Decode assigned to _`
+	return v
+}
+
+// handled is the contract-honoring shape: every error is propagated.
+func handled(s *summary.Store, j *wal.Journal, k summary.Key) error {
+	if err := s.Put(k, nil); err != nil {
+		return err
+	}
+	v, err := summary.Decode(nil)
+	if err != nil {
+		return err
+	}
+	b, err := summary.Encode(v)
+	if err != nil {
+		return err
+	}
+	if err := j.Append(b); err != nil {
+		return err
+	}
+	return j.Close()
+}
+
+// audited suppresses a best-effort drop with its reason in place.
+func audited(s *summary.Store, k summary.Key) {
+	//lint:ignore codecerr best-effort read-through fill; the tier counts the fault itself
+	_ = s.Put(k, nil)
+}
+
+// nonContract calls — errors from other packages — are out of scope.
+func nonContract() {
+	local()
+}
+
+func local() error { return nil }

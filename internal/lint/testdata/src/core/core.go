@@ -1,0 +1,119 @@
+// Package core mirrors the solver package's loop shapes for the
+// cancelpoll fixtures; its one-segment import path matches the real
+// ipcp/internal/core by final segment, putting it in the analyzer's
+// scope.
+package core
+
+// Config mirrors the solver's cancellation hook.
+type Config struct {
+	Cancel func() bool
+}
+
+// token mirrors context.Context's cancellation surface.
+type token struct{}
+
+func (token) Done() <-chan struct{} { return nil }
+func (token) Err() error            { return nil }
+
+// wedge drains a worklist without ever polling.
+func wedge(work []int) {
+	for len(work) > 0 { // want `unbounded loop never polls cancellation`
+		work = work[1:]
+	}
+}
+
+// spin is the bare-for shape.
+func spin(step func()) {
+	for { // want `unbounded loop never polls cancellation`
+		step()
+	}
+}
+
+// chanWedge ranges a channel with no way out but the producer.
+func chanWedge(ch chan int) int {
+	total := 0
+	for v := range ch { // want `channel-range loop never polls cancellation`
+		total += v
+	}
+	return total
+}
+
+// polled drains the same worklist but honors Config.Cancel each lap.
+func polled(cfg Config, work []int) {
+	for len(work) > 0 {
+		if cfg.Cancel != nil && cfg.Cancel() {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// ctxPolled checks a context-shaped token's Err each lap.
+func ctxPolled(ctx token, work []int) {
+	for len(work) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		work = work[1:]
+	}
+}
+
+// chanPolled selects on a stop channel per message.
+func chanPolled(ch chan int, stop chan struct{}) {
+	for v := range ch {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		_ = v
+	}
+}
+
+// deferPolled polls on the way out of each per-iteration frame: the
+// deferred cancel check still runs every lap, so the loop carries a
+// poll and is not flagged.
+func deferPolled(cfg Config, ch chan int) {
+	for range ch {
+		func() {
+			defer pollCancel(cfg)
+		}()
+	}
+}
+
+// pollCancel is the named-poll helper shape.
+func pollCancel(cfg Config) {
+	if cfg.Cancel != nil {
+		cfg.Cancel()
+	}
+}
+
+// bounded three-clause loops are never flagged.
+func bounded(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// sliceRange is bounded by its operand.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// evict is the audited-false-positive shape: the condition strictly
+// shrinks, so the suppression documents the termination argument.
+func evict(snapshots map[int]int, max int) {
+	//lint:ignore cancelpoll eviction strictly shrinks its own condition each iteration
+	for len(snapshots) > max {
+		for k := range snapshots {
+			delete(snapshots, k)
+			break
+		}
+	}
+}

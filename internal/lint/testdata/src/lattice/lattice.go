@@ -1,0 +1,41 @@
+// Package lattice is the fixture stand-in for
+// ipcp/internal/core/lattice: its one-segment import path matches the
+// real package by final segment, so the latticeflow analyzer treats
+// these as the real constructors and elements.
+package lattice
+
+// Value is the three-level constant-propagation lattice element.
+type Value struct {
+	kind int
+	c    int64
+}
+
+// Top and Bottom are the lattice's extreme elements.
+var (
+	Top    = Value{kind: 0}
+	Bottom = Value{kind: 2}
+)
+
+// OfInt makes a constant element.
+func OfInt(c int64) Value { return Value{kind: 1, c: c} }
+
+// OfBool makes a constant element from a boolean.
+func OfBool(b bool) Value {
+	if b {
+		return OfInt(1)
+	}
+	return OfInt(0)
+}
+
+// Meet is the lattice meet: the greatest lower bound.
+func Meet(a, b Value) Value {
+	switch {
+	case a.kind == 0:
+		return b
+	case b.kind == 0:
+		return a
+	case a == b:
+		return a
+	}
+	return Bottom
+}

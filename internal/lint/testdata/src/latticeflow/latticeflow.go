@@ -1,0 +1,77 @@
+// Package latticeflow holds the latticeflow fixtures: raw VAL-cell
+// overwrites (positive cases) against the constructor/Meet/cell-copy
+// idioms of the stage-3 solvers (negative cases).
+package latticeflow
+
+import "lattice"
+
+// eval stands in for a jump-function evaluation outside the lattice
+// package — the producer a raw overwrite would launder into a cell.
+func eval() lattice.Value { return lattice.Bottom }
+
+// rawOverwrite replaces the cell instead of meeting into it.
+func rawOverwrite(cells []lattice.Value, i int) {
+	cells[i] = eval() // want `non-monotone update can raise the cell`
+}
+
+// rawConstruct builds a Value from raw parts outside the lattice
+// package.
+func rawConstruct() lattice.Value {
+	return lattice.Value{} // want `constructed directly`
+}
+
+// taintedLocal launders a raw value through a local.
+func taintedLocal(cells []lattice.Value, i int) {
+	v := eval()
+	cells[i] = v // want `non-monotone update can raise the cell`
+}
+
+// mixedLocal shows one approved definition does not wash out a raw
+// one.
+func mixedLocal(cells []lattice.Value, i int) {
+	v := lattice.Bottom
+	v = eval()
+	cells[i] = v // want `non-monotone update can raise the cell`
+}
+
+// meetInPlace is the canonical stage-3 descent.
+func meetInPlace(cells []lattice.Value, i int, v lattice.Value) {
+	cells[i] = lattice.Meet(cells[i], v)
+}
+
+// meetViaLocal is both solvers' idiom: meet into a named value, then
+// store it.
+func meetViaLocal(cells []lattice.Value, i int, v lattice.Value) {
+	nv := lattice.Meet(cells[i], v)
+	cells[i] = nv
+}
+
+// initCells seeds from the constructors and the extreme elements.
+func initCells(cells []lattice.Value) {
+	for i := range cells {
+		cells[i] = lattice.Top
+	}
+	cells[0] = lattice.OfInt(1)
+	cells[1] = lattice.OfBool(true)
+}
+
+// cellCopy moves a value between cells.
+func cellCopy(cells []lattice.Value) {
+	cells[1] = cells[0]
+}
+
+// frame mirrors the solvers' per-procedure cell vectors.
+type frame struct{ formals []lattice.Value }
+
+// fieldChainCopy copies a cell out of a field chain.
+func fieldChainCopy(f *frame, cells []lattice.Value, i int) {
+	cells[i] = f.formals[0]
+}
+
+// seedCopy propagates a cell out of a comma-ok map lookup — the
+// warm-start seeding shape.
+func seedCopy(cells []lattice.Value, seed map[int]lattice.Value, i int) {
+	if sv, ok := seed[i]; ok {
+		cells[i] = sv
+	}
+}

@@ -1,0 +1,105 @@
+// Package mapiter holds the mapiter fixtures: map ranges feeding
+// order-sensitive sinks (positive cases) and the collect-sort-emit
+// idiom (negative cases).
+package mapiter
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// emitUnsorted writes during iteration: no later sort can repair it.
+func emitUnsorted(w *bytes.Buffer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v) // want `map iteration feeds an io.Writer`
+	}
+}
+
+// sink is any Write-shaped receiver (a hash, an exposition writer).
+type sink struct{ n int }
+
+func (s *sink) Write(p []byte) (int, error) {
+	s.n += len(p)
+	return len(p), nil
+}
+
+// hashUnsorted feeds a hash one key at a time, in map order.
+func hashUnsorted(h *sink, m map[string]int) {
+	for k := range m {
+		h.Write([]byte(k)) // want `map iteration feeds an io.Writer/hash`
+	}
+}
+
+// blobWriter mirrors the summary codec's writer helpers.
+type blobWriter struct{ buf []byte }
+
+func (w *blobWriter) str(s string) { w.buf = append(w.buf, s...) }
+
+// encodeUnsorted emits into the encoded blob in map order.
+func encodeUnsorted(w *blobWriter, m map[string]int) {
+	for k := range m {
+		w.str(k) // want `codec writer method`
+	}
+}
+
+// collectUnsorted leaks the iteration order through the slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `accumulates map keys in randomized order`
+	}
+	return keys
+}
+
+// collectSorted is the canonical collect-sort-emit idiom.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectLocalSort sorts with a dependency-free local helper.
+func collectLocalSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+// sortStrings is the repo's dependency-free insertion sort shape.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// perKeyScratch appends only to a slice scoped inside the loop, which
+// cannot leak the iteration order past it.
+func perKeyScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// pinSet is the audited-false-positive shape: the result is consumed
+// as an unordered set, so the suppression documents the audit.
+func pinSet(m map[string]int) []string {
+	var pins []string
+	for k := range m {
+		//lint:ignore mapiter consumed as an unordered pin set; nothing observes the order
+		pins = append(pins, k)
+	}
+	return pins
+}

@@ -1,0 +1,45 @@
+// Package server mirrors the daemon's metrics surface for the
+// metricreg fixtures; its one-segment import path matches the real
+// ipcp/internal/server by final segment, putting it in the analyzer's
+// scope.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Histogram mirrors the shared fixed-bucket histogram.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.n++ }
+
+// Expose renders the histogram series.
+func (h *Histogram) Expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.n)
+}
+
+// metrics declares the counters the exposition must cover; two of
+// them are deliberately missing from write.
+type metrics struct {
+	hits       atomic.Int64
+	misses     atomic.Int64 // want `declared but never written to the exposition`
+	latency    *Histogram
+	unexposed  *Histogram // want `declared but never written to the exposition`
+	generation int
+}
+
+// write renders the exposition, with one literal-backed series and
+// one duplicated name.
+func (m *metrics) write(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %d\n", name, help, name, v)
+	}
+	counter("ipcpd_test_hits_total", "Cache hits.", m.hits.Load())
+	counter("ipcpd_test_free_total", "Backed by nothing.", 42) // want `exposed with a constant value`
+	counter("ipcpd_test_dup_total", "Duplicated.", m.hits.Load())
+	counter("ipcpd_test_dup_total", "Duplicated again.", m.hits.Load()) // want `exposed twice`
+	m.latency.Expose(w, "ipcpd_test_latency_seconds", "")
+}

@@ -1,0 +1,23 @@
+// Package summary is the durability-contract stub for the codecerr
+// fixtures: its error-returning surface mirrors the real
+// ipcp/internal/summary store and codec APIs, and its one-segment
+// import path matches the real package by final segment.
+package summary
+
+// Key identifies a stored blob.
+type Key [4]byte
+
+// Store mirrors the error-returning store surface.
+type Store struct{}
+
+// Put persists one blob.
+func (*Store) Put(k Key, v []byte) error { return nil }
+
+// FlushErr reports the first asynchronous write-back failure.
+func (*Store) FlushErr() error { return nil }
+
+// Decode mirrors the codec's decode half.
+func Decode(b []byte) (int, error) { return 0, nil }
+
+// Encode mirrors the codec's encode half.
+func Encode(v int) ([]byte, error) { return nil, nil }

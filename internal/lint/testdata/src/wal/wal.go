@@ -1,0 +1,16 @@
+// Package wal is the write-ahead-journal stub for the codecerr
+// fixtures; its one-segment import path matches the real
+// ipcp/internal/wal by final segment.
+package wal
+
+// Journal mirrors the journal's error-returning surface.
+type Journal struct{}
+
+// Append journals one record.
+func (*Journal) Append(p []byte) error { return nil }
+
+// Confirm marks the last appended record applied.
+func (*Journal) Confirm() error { return nil }
+
+// Close releases the journal.
+func (*Journal) Close() error { return nil }

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The analyzers key on this module's import paths. Fixture packages
+// under testdata/src reproduce the same shapes under bare one-segment
+// paths ("lattice", "summary", ...), so path matching accepts the real
+// path or anything sharing its final segment — precise enough for a
+// self-lint, and what lets the analysistest fixtures exercise the
+// exact production code paths.
+
+// pkgPathMatches reports whether path is full or shares its last
+// segment (the fixture spelling).
+func pkgPathMatches(path, full string) bool {
+	if path == full {
+		return true
+	}
+	last := full
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		last = full[i+1:]
+	}
+	return path == last || strings.HasSuffix(path, "/"+last)
+}
+
+// pkgMatches reports whether pkg (possibly nil) matches full.
+func pkgMatches(pkg *types.Package, full string) bool {
+	return pkg != nil && pkgPathMatches(pkg.Path(), full)
+}
+
+// namedFrom reports whether t (after pointer and alias stripping) is
+// the named type pkg.name for a package matching full.
+func namedFrom(t types.Type, full, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && pkgMatches(obj.Pkg(), full)
+}
+
+// calleeFunc resolves the *types.Func a call invokes (nil for builtins,
+// function-typed variables, and type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// ioWriter is a structural io.Writer built by hand so the check does
+// not depend on the package under analysis importing "io".
+var ioWriter = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(0, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(0, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(0, nil, "n", types.Typ[types.Int]),
+			types.NewVar(0, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)),
+}, nil).Complete()
+
+// implementsWriter reports whether t satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(t), ioWriter)
+	}
+	return false
+}
+
+// rootIdent walks to the leftmost identifier of a selector/index
+// chain: rootIdent(p.vals.formals[callee]) = p.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprMentionsObj reports whether the expression references obj.
+func exprMentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcFor returns the innermost enclosing FuncDecl/FuncLit body of a
+// node path. Analyzers that need the enclosing function walk with
+// withStack below.
+type stackVisitor func(n ast.Node, stack []ast.Node) bool
+
+// withStack walks root calling fn with the ancestor stack (root
+// first). Returning false prunes the subtree.
+func withStack(root ast.Node, fn stackVisitor) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push/pop symmetrically: Inspect will not descend,
+			// so pop now and skip children.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

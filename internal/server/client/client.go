@@ -114,6 +114,7 @@ func (c *Client) Batch(ctx context.Context, req server.BatchRequest) ([]server.B
 	results := make([]server.BatchItemResult, len(req.Items))
 	seen := make([]bool, len(req.Items))
 	dec := json.NewDecoder(res.Body)
+	//lint:ignore cancelpoll bounded by the response body: Decode hits io.EOF, and the request context aborts the body reads
 	for {
 		var item server.BatchItemResult
 		if err := dec.Decode(&item); err == io.EOF {

@@ -35,6 +35,7 @@ func newPool(workers, queueDepth int) *pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
+			//lint:ignore cancelpoll the queue channel closes on drain, ending the range; per-request deadlines are polled inside each job
 			for f := range p.queue {
 				f()
 			}

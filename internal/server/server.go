@@ -258,6 +258,7 @@ func (s *Server) GC() (ipcp.CacheGCStats, error) {
 	s.mu.Lock()
 	live := make([]*ipcp.Snapshot, 0, len(s.snapshots))
 	for _, el := range s.snapshots {
+		//lint:ignore mapiter CacheGC consumes the live snapshots as an unordered pin set; nothing observes their order
 		live = append(live, el.Value.(*lineageSnap).snap)
 	}
 	s.mu.Unlock()
@@ -569,6 +570,7 @@ func (s *Server) setSnapshot(lineage string, snap *ipcp.Snapshot) {
 		return
 	}
 	s.snapshots[lineage] = s.snapOrder.PushFront(&lineageSnap{lineage: lineage, snap: snap})
+	//lint:ignore cancelpoll LRU eviction strictly shrinks len(s.snapshots) each iteration until it meets the budget
 	for len(s.snapshots) > s.cfg.MaxSnapshots {
 		oldest := s.snapOrder.Back()
 		delete(s.snapshots, oldest.Value.(*lineageSnap).lineage)

@@ -251,6 +251,7 @@ func SaveSnapshotChain(path string, s *Snapshot, p DeltaPolicy) (ChainStats, err
 	fileLen := -1
 	if data, rerr := os.ReadFile(path); rerr == nil {
 		fileLen = len(data)
+		//lint:ignore codecerr a corrupt chain intentionally degrades to writing a fresh full snapshot; nil parent is the handled outcome
 		parent, frames, validEnd, _ = decodeChain(data)
 	}
 	if parent != nil {

@@ -60,6 +60,7 @@ func (s *Snapshot) Keys() []Key {
 	keys := make([]Key, 0, 2*len(s.Procs))
 	for _, st := range s.Procs {
 		if st.Key != zero {
+			//lint:ignore mapiter GCDir consumes Keys as an unordered pin set (membership only); the doc comment declares the order unspecified
 			keys = append(keys, st.Key)
 		}
 		if st.SharedKey != zero {

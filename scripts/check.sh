@@ -4,6 +4,10 @@
 # Runs, in order:
 #   1. gofmt -l        formatting gate (fails listing unformatted files)
 #   2. go vet          static checks
+#   2b. ipcplint       the repo's own invariant-checker suite
+#                      (internal/lint) run through go vet -vettool, so
+#                      every failure names the analyzer and position;
+#                      see DESIGN.md "Static analysis of the analyzer"
 #   3. go build        every package compiles
 #   4. go test -race   the full test suite under the race detector,
 #                      which turns the concurrency regression tests and
@@ -58,6 +62,13 @@ fi
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> ipcplint (go vet -vettool) ./..."
+lintdir=$(mktemp -d)
+go build -o "$lintdir/ipcplint" ./cmd/ipcplint
+# Failures print as file:line:col: message [analyzer] and exit non-zero.
+go vet -vettool="$lintdir/ipcplint" ./...
+rm -rf "$lintdir"
 
 echo "==> go build ./..."
 go build ./...
